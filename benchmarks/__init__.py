@@ -1,0 +1,5 @@
+"""Benchmark suite: one module per paper table/figure plus extensions.
+
+A package so `pytest benchmarks/ --benchmark-only` resolves the shared
+`benchmarks._report` helper regardless of how pytest was invoked.
+"""

@@ -1,0 +1,29 @@
+"""Benchmark result reporting.
+
+Every benchmark regenerates one of the paper's tables/figures; the data
+matters as much as the timing.  ``report`` writes the formatted table to
+``benchmarks/results/<name>.txt`` and mirrors it to the real stdout so it
+survives pytest's output capture (``pytest benchmarks/ --benchmark-only``
+then shows the reproduced tables inline, as EXPERIMENTS.md references).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Tables produced by the current pytest session, in execution order.
+#: The conftest's terminal-summary hook prints these after the run --
+#: pytest captures even ``sys.__stdout__`` at the fd level, so printing
+#: from inside the benchmark would be swallowed.
+SESSION_REPORTS: list[tuple[str, str]] = []
+
+
+def report(name: str, text: str) -> Path:
+    """Persist one experiment's formatted output and queue it for display."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    SESSION_REPORTS.append((name, text))
+    return path

@@ -1,0 +1,17 @@
+"""Future-work bench: does concavity tighten the LGM factor-2 bound?"""
+
+import pytest
+
+from benchmarks._report import report
+from repro.experiments.concavity_study import run_concavity_study
+
+
+def bench_concavity_study(run_once):
+    result = run_once(run_concavity_study)
+    report("concavity_study", result.format())
+    # The measured ordering: linear == 1 exactly; concave small; the
+    # non-concave families carry the big gaps.
+    assert result.worst("linear") == pytest.approx(1.0)
+    assert result.worst("concave") < 1.1
+    assert result.worst("step") >= 1.5
+    assert result.worst("concave") < result.worst("block-io")

@@ -1,0 +1,15 @@
+"""Future-work bench: operator-level asymmetric batching (Section 7)."""
+
+from benchmarks._report import report
+from repro.experiments.operator_asymmetry import run_operator_asymmetry
+
+
+def bench_operator_asymmetry(run_once):
+    result = run_once(run_operator_asymmetry)
+    report("operator_asymmetry", result.format())
+    # Batching in front of the setup-heavy operator must beat both
+    # whole-pipeline batching and eager propagation through it.
+    assert result.best_cut >= 1
+    assert result.naive_cost > 1.2 * result.best_cost
+    deep_costs = [cost for cut, cost in result.cut_costs if cut >= 2]
+    assert all(cost > result.naive_cost for cost in deep_costs)

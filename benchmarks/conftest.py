@@ -1,0 +1,46 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs its experiment exactly once (``rounds=1``): the
+experiments are deterministic, so repeated timing rounds would only
+re-measure identical work, and several of them are minutes-scale at full
+parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn(*args, **kwargs)`` once under the benchmark clock and
+    return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every regenerated paper table after the timing summary.
+
+    Runs outside pytest's capture, so the tables reach the real stdout
+    (and any `tee`), alongside their persisted copies under
+    ``benchmarks/results/``.
+    """
+    from benchmarks._report import SESSION_REPORTS
+
+    if not SESSION_REPORTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 70)
+    write("reproduced paper tables (also saved under benchmarks/results/)")
+    write("=" * 70)
+    for name, text in SESSION_REPORTS:
+        write("")
+        for line in text.splitlines():
+            write(line)

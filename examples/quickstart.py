@@ -1,0 +1,113 @@
+"""Quickstart: asymmetric batch view maintenance in five minutes.
+
+Builds the paper's scenario end to end on a small TPC-R database:
+
+1. load TPC-R and define the 4-way MIN view;
+2. *measure* the batch cost functions f_PS(k) and f_S(k) from the live
+   engine (they come out asymmetric: PartSupp deltas cheap and linear,
+   Supplier deltas setup-heavy);
+3. plan with the paper's four strategies under a response-time constraint;
+4. compare total maintenance costs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    NaivePolicy,
+    OnlinePolicy,
+    ProblemInstance,
+    adapt_plan,
+    find_optimal_lgm_plan,
+    simulate_policy,
+)
+from repro.engine import Database
+from repro.engine.expr import col, lit
+from repro.engine.query import AggregateSpec, JoinSpec, QuerySpec
+from repro.ivm import MaterializedView, measure_cost_function
+from repro.tpcr import PartSuppCostUpdater, SupplierNationUpdater, load_tpcr
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A TPC-R database with the paper's physical design: Supplier is
+    #    indexed on the join key, PartSupp deliberately is not.
+    # ------------------------------------------------------------------
+    db = Database()
+    counts = load_tpcr(db, scale=0.01)
+    db.table("supplier").create_index("suppkey")
+    db.table("nation").create_index("nationkey")
+    db.table("region").create_index("regionkey")
+    print(f"loaded TPC-R: {counts}")
+
+    view = MaterializedView(
+        "min_supplycost",
+        db,
+        QuerySpec(
+            base_alias="PS",
+            base_table="partsupp",
+            joins=(
+                JoinSpec("S", "supplier", "PS.suppkey", "suppkey"),
+                JoinSpec("N", "nation", "S.nationkey", "nationkey"),
+                JoinSpec("R", "region", "N.regionkey", "regionkey"),
+            ),
+            filters=(col("R.name") == lit("MIDDLE EAST"),),
+            aggregate=AggregateSpec(func="min", value=col("PS.supplycost")),
+        ),
+    )
+    print(f"initial MIN(supplycost) for MIDDLE EAST = {view.scalar()}")
+
+    # ------------------------------------------------------------------
+    # 2. Calibrate the batch cost functions from the live engine.
+    # ------------------------------------------------------------------
+    ps_updates = PartSuppCostUpdater(db.table("partsupp"), seed=1)
+    s_updates = SupplierNationUpdater(db.table("supplier"), seed=2)
+    sweep = (10, 25, 50, 100, 200)
+    f_ps = measure_cost_function(view, "PS", sweep, ps_updates)
+    f_s = measure_cost_function(view, "S", sweep, s_updates)
+    print(f"\nmeasured cost functions (simulated ms):")
+    print(f"  f_PS ~ {f_ps.linear_fit}")
+    print(f"  f_S  ~ {f_s.linear_fit}")
+    print(
+        "  -> asymmetry: Supplier batches pay a "
+        f"{f_s.linear_fit.setup / max(f_ps.linear_fit.setup, 1e-9):.0f}x "
+        "larger setup cost"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Schedule under a response-time constraint C.  Modifications
+    #    arrive uniformly over database rows: 80 PartSupp + 1 Supplier
+    #    update per time step.
+    # ------------------------------------------------------------------
+    limit = f_s.tabulated(30) * 1.15
+    horizon = 300
+    arrivals = [(80, 1)] * (horizon + 1)
+    problem = ProblemInstance(
+        (f_ps.tabulated, f_s.tabulated), limit, arrivals
+    )
+    print(f"\nresponse-time constraint C = {limit:.0f} ms, T = {horizon}")
+
+    naive = simulate_policy(problem, NaivePolicy())
+    optimal = find_optimal_lgm_plan(problem)
+    adapt = simulate_policy(problem, adapt_plan(problem, horizon // 2))
+    online = simulate_policy(problem, OnlinePolicy())
+
+    # ------------------------------------------------------------------
+    # 4. Compare.
+    # ------------------------------------------------------------------
+    print("\ntotal maintenance cost over the period:")
+    rows = [
+        ("NAIVE (symmetric baseline)", naive.total_cost),
+        ("OPT_LGM (A*, full knowledge)", optimal.cost),
+        ("ADAPT (plan for T/2, reused)", adapt.total_cost),
+        ("ONLINE (no advance knowledge)", online.total_cost),
+    ]
+    for name, cost in rows:
+        print(f"  {name:32s} {cost:10.0f} ms")
+    print(
+        f"\nasymmetric scheduling beats the symmetric baseline by "
+        f"{naive.total_cost / optimal.cost:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

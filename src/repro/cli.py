@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiment <name>``
+    Run one experiment driver (``fig1``, ``intro``, ``fig4``, ``fig5``,
+    ``fig6``, ``fig7``, ``bounds``, ``ablations``) and print its table --
+    the same output the benchmarks persist under ``benchmarks/results/``.
+
+``calibrate``
+    Measure the paper view's batch cost functions on a freshly generated
+    TPC-R database and print the samples and linear fits.
+
+``generate``
+    dbgen mode: emit TPC-R tables as pipe-delimited ``.tbl`` files.
+
+``sql``
+    Run a SQL query against a freshly loaded TPC-R database; ``--explain``
+    prints the physical plan instead of executing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Asymmetric Batch Incremental View Maintenance (ICDE 2005) "
+            "reproduction"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one paper experiment and print its table"
+    )
+    experiment.add_argument(
+        "name",
+        choices=[
+            "fig1", "intro", "fig4", "fig5", "fig6", "fig7",
+            "bounds", "ablations", "operator-asymmetry",
+            "online-bound", "three-way", "concavity",
+        ],
+    )
+    experiment.add_argument(
+        "--scale", type=float, default=0.01, help="TPC-R scale factor"
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate", help="measure the paper view's batch cost functions"
+    )
+    calibrate.add_argument("--scale", type=float, default=0.01)
+    calibrate.add_argument(
+        "--batches",
+        type=int,
+        nargs="+",
+        default=[10, 25, 50, 100, 200, 400],
+        help="batch sizes to sweep",
+    )
+
+    generate = sub.add_parser(
+        "generate", help="emit TPC-R tables as dbgen-style .tbl files"
+    )
+    generate.add_argument("--scale", type=float, default=0.01)
+    generate.add_argument("--seed", type=int, default=19721212)
+    generate.add_argument(
+        "--tables",
+        nargs="+",
+        default=["region", "nation", "supplier", "partsupp"],
+    )
+    generate.add_argument("--out", required=True, help="output directory")
+
+    sql = sub.add_parser(
+        "sql", help="run a SQL query against a fresh TPC-R database"
+    )
+    sql.add_argument("query", help="the SELECT statement")
+    sql.add_argument("--scale", type=float, default=0.01)
+    sql.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the physical plan instead of executing",
+    )
+    sql.add_argument(
+        "--max-rows", type=int, default=20, help="truncate printed output"
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help=(
+            "visualize maintenance plans on the paper's workload: ASCII "
+            "backlog timeline per policy plus a comparison table"
+        ),
+    )
+    timeline.add_argument("--scale", type=float, default=0.01)
+    timeline.add_argument("--horizon", type=int, default=200)
+    timeline.add_argument(
+        "--policies",
+        nargs="+",
+        default=["naive", "optimal", "online"],
+        choices=["naive", "optimal", "online", "adapt"],
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "experiment": _run_experiment,
+        "calibrate": _run_calibrate,
+        "generate": _run_generate,
+        "sql": _run_sql,
+        "timeline": _run_timeline,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+
+
+def _run_experiment(args) -> int:
+    from repro import experiments as exp
+
+    if args.name == "ablations":
+        for runner in (
+            exp.run_astar_heuristic_ablation,
+            exp.run_plan_class_ablation,
+            exp.run_estimator_ablation,
+            exp.run_cost_family_study,
+        ):
+            print(runner().format())
+            print()
+        return 0
+    runners = {
+        "fig1": lambda: exp.run_fig1(scale=args.scale),
+        "intro": lambda: exp.run_intro_example(scale=args.scale),
+        "fig4": lambda: exp.run_fig4(scale=args.scale),
+        "fig5": lambda: exp.run_fig5(scale=args.scale),
+        "fig6": lambda: exp.run_fig6(scale=args.scale),
+        "fig7": lambda: exp.run_fig7(scale=args.scale),
+        "bounds": lambda: exp.run_bounds_study(),
+        "operator-asymmetry": lambda: exp.run_operator_asymmetry(),
+        "online-bound": lambda: exp.run_online_bound_study(),
+        "three-way": lambda: exp.run_three_way(scale=args.scale),
+        "concavity": lambda: exp.run_concavity_study(),
+    }
+    print(runners[args.name]().format())
+    return 0
+
+
+def _run_calibrate(args) -> int:
+    from repro.experiments import common
+    from repro.ivm.calibration import measure_cost_function
+
+    setup = common.build_setup(scale=args.scale, update_seed=321)
+    for alias, updater in (
+        ("PS", setup.ps_updater),
+        ("S", setup.supplier_updater),
+    ):
+        result = measure_cost_function(
+            setup.view, alias, args.batches, updater
+        )
+        print(f"f_{alias}(k) samples (simulated ms):")
+        for k, cost in result.samples:
+            print(f"  {k:6d}  {cost:10.2f}")
+        fit = result.linear_fit
+        print(
+            f"  fit: {fit.slope:.4f} * k + {fit.setup:.2f}   "
+            f"(max rel err {result.max_relative_fit_error():.1%})\n"
+        )
+    return 0
+
+
+def _run_generate(args) -> int:
+    from repro.engine.database import Database
+    from repro.engine.io import dump_database
+    from repro.tpcr.gen import load_tpcr
+
+    db = Database()
+    load_tpcr(db, scale=args.scale, seed=args.seed, tables=args.tables)
+    counts = dump_database(db, args.out)
+    for name, count in sorted(counts.items()):
+        print(f"{name}.tbl: {count} rows")
+    return 0
+
+
+def _run_sql(args) -> int:
+    from repro.engine.database import Database
+    from repro.sql import SqlError, parse_query
+    from repro.tpcr.gen import load_tpcr
+
+    db = Database()
+    load_tpcr(
+        db,
+        scale=args.scale,
+        tables=(
+            "region", "nation", "supplier", "partsupp", "part",
+        ),
+    )
+    db.table("supplier").create_index("suppkey")
+    db.table("nation").create_index("nationkey")
+    db.table("region").create_index("regionkey")
+    db.table("part").create_index("partkey")
+    try:
+        spec = parse_query(args.query)
+    except SqlError as exc:
+        print(f"SQL error: {exc}", file=sys.stderr)
+        return 1
+    if args.explain:
+        print(db.explain(spec))
+        return 0
+    with db.counter.window() as window:
+        result = db.execute(spec)
+    print("  ".join(result.columns))
+    for i, row in enumerate(result.rows):
+        if i >= args.max_rows:
+            print(f"... ({len(result.rows) - args.max_rows} more rows)")
+            break
+        print("  ".join(str(v) for v in row))
+    print(
+        f"\n{len(result.rows)} row(s); simulated cost "
+        f"{window.elapsed_ms:.2f} ms"
+    )
+    return 0
+
+
+def _run_timeline(args) -> int:
+    from repro.core.adapt import adapt_plan
+    from repro.core.astar import find_optimal_lgm_plan
+    from repro.core.naive import NaivePolicy
+    from repro.core.online import OnlinePolicy
+    from repro.core.report import compare_traces, render_trace_timeline
+    from repro.core.simulator import execute_plan, simulate_policy
+    from repro.experiments import common
+    from repro.workloads.arrivals import uniform_arrivals
+
+    costs = common.cost_functions(scale=args.scale)
+    limit = common.default_limit(costs)
+    arrivals = uniform_arrivals(common.ARRIVAL_MIX, args.horizon + 1)
+    problem = common.make_problem(arrivals, limit, costs)
+
+    traces = {}
+    for name in args.policies:
+        if name == "naive":
+            traces["NAIVE"] = simulate_policy(problem, NaivePolicy())
+        elif name == "optimal":
+            traces["OPT_LGM"] = execute_plan(
+                problem, find_optimal_lgm_plan(problem).plan
+            )
+        elif name == "online":
+            traces["ONLINE"] = simulate_policy(problem, OnlinePolicy())
+        else:
+            policy = adapt_plan(problem, max(1, args.horizon // 2))
+            traces["ADAPT"] = simulate_policy(problem, policy)
+
+    for name, trace in traces.items():
+        print(f"=== {name} ===")
+        print(
+            render_trace_timeline(
+                problem, trace, table_names=("PS", "S")
+            )
+        )
+        print()
+    print(compare_traces(problem, traces))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Greedy/minimal action machinery shared by all planners (Section 3.2).
+
+A *greedy* action empties a subset of the delta tables and leaves the rest
+untouched.  A greedy action taken on a full pre-action state is *minimal*
+when no emptied table could be dropped from it while keeping the post-action
+state within the response-time constraint.  LGM planners (the A* search,
+the ADAPT fallback, and the ONLINE heuristic) all enumerate exactly this set
+of candidate actions, so the enumeration lives here in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.problem import ProblemInstance, Vector, sub_vectors
+
+_EPS = 1e-9
+
+# Enumerating greedy actions is exponential in the number of *non-empty*
+# delta tables.  The paper notes n <= 5 for its TPC-R views; we allow a
+# comfortable margin but refuse clearly pathological widths.
+_MAX_ENUMERABLE_TABLES = 20
+
+
+def enumerate_greedy_minimal_actions(
+    state: Vector, problem: ProblemInstance
+) -> Iterator[Vector]:
+    """Yield every greedy, minimal, valid action for pre-action ``state``.
+
+    Each yielded action empties a subset ``S`` of the non-empty delta tables
+    such that (a) the post-action state satisfies the constraint and (b) no
+    proper subset of ``S`` does.  If ``state`` itself satisfies the
+    constraint, the unique minimal action is to do nothing and nothing is
+    yielded -- callers decide whether a zero action is acceptable (lazy
+    plans) or not (the final flush at ``T``).
+
+    Yields actions in deterministic order (subsets in increasing bitmask
+    order over non-empty tables) so planner results are reproducible.
+    """
+    costs = [f(k) for f, k in zip(problem.cost_functions, state, strict=True)]
+    total = sum(costs)
+    if total <= problem.limit + _EPS:
+        return  # state is not full; the minimal action is no action
+    nonzero = [i for i in range(problem.n) if state[i] > 0]
+    if len(nonzero) > _MAX_ENUMERABLE_TABLES:
+        raise ValueError(
+            f"{len(nonzero)} non-empty delta tables exceeds the subset "
+            f"enumeration limit of {_MAX_ENUMERABLE_TABLES}"
+        )
+    m = len(nonzero)
+    for mask in range(1, 1 << m):
+        emptied = [nonzero[j] for j in range(m) if mask >> j & 1]
+        remaining = total - sum(costs[i] for i in emptied)
+        if remaining > problem.limit + _EPS:
+            continue  # not valid: leftover backlog still violates C
+        # Minimality: restoring any emptied table must overflow the limit.
+        if any(
+            remaining + costs[i] <= problem.limit + _EPS for i in emptied
+        ):
+            continue
+        action = [0] * problem.n
+        for i in emptied:
+            action[i] = state[i]
+        yield tuple(action)
+
+
+def cheapest_greedy_minimal_action(
+    state: Vector, problem: ProblemInstance
+) -> Vector:
+    """The greedy minimal valid action with the lowest immediate cost.
+
+    A convenient deterministic tie-breaker used by fallback paths (e.g.
+    ADAPT when live arrivals deviate from the planned sequence).  Raises
+    ``ValueError`` when ``state`` is not full (no action is needed then).
+    """
+    best: Vector | None = None
+    best_cost = float("inf")
+    for action in enumerate_greedy_minimal_actions(state, problem):
+        cost = problem.refresh_cost(action)
+        if cost < best_cost:
+            best, best_cost = action, cost
+    if best is None:
+        raise ValueError(
+            f"state {state} is not full; no forced action exists"
+        )
+    return best
+
+
+def minimize_action(action: Vector, state: Vector, problem: ProblemInstance) -> Vector:
+    """``MinimizeAction(q, s)`` from Section 3.2 of the paper.
+
+    Given a greedy action ``action`` whose post-action state satisfies the
+    constraint, return a minimal greedy action that empties a subset of the
+    same tables and still satisfies the constraint.  Components are dropped
+    in decreasing order of their processing cost, so the minimization sheds
+    the most expensive batches first (those benefit most from further
+    batching); any drop order yields *a* minimal action, this order is our
+    deterministic choice.
+    """
+    post = sub_vectors(state, action)
+    for i in range(problem.n):
+        if action[i] not in (0, state[i]):
+            raise ValueError(
+                f"action {action} is not greedy for state {state} "
+                f"(component {i})"
+            )
+    if problem.is_full(post):
+        raise ValueError(
+            f"action {action} on state {state} does not satisfy the "
+            f"response-time constraint; cannot minimize an invalid action"
+        )
+    kept = [i for i in range(problem.n) if action[i] > 0]
+    kept.sort(key=lambda i: problem.cost_functions[i](state[i]), reverse=True)
+    post_cost = problem.refresh_cost(post)
+    result = list(action)
+    for i in kept:
+        restored = post_cost + problem.cost_functions[i](state[i])
+        if restored <= problem.limit + _EPS:
+            result[i] = 0
+            post_cost = restored
+    return tuple(result)

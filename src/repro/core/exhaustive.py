@@ -1,0 +1,183 @@
+"""Exhaustive optimal-plan oracle over *all* valid plans (not just LGM).
+
+The paper's analytical results compare the best LGM plan against the
+globally optimal plan ``OPT`` over the unrestricted plan space.  ``OPT`` is
+never computed in the paper (its search space is prohibitive -- the very
+motivation for Section 3), but for small synthetic instances we can compute
+it exactly by dynamic programming over reachable delta-table states.  This
+oracle exists to *verify* the paper's bounds mechanically:
+
+* Theorem 1: ``OPT_LGM <= 2 * OPT`` for monotone subadditive costs;
+* Theorem 2: ``OPT_LGM == OPT`` for linear costs;
+* Section 3.2 tightness: the :class:`~repro.core.costfuncs.StepCost`
+  construction drives ``OPT_LGM / OPT`` arbitrarily close to 2.
+
+Complexity is exponential in both the state space and the per-state action
+space, so instances are guarded by ``max_states``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.plan import Plan
+from repro.core.problem import (
+    ProblemInstance,
+    Vector,
+    add_vectors,
+    sub_vectors,
+    zero_vector,
+)
+
+
+@dataclass
+class ExhaustiveResult:
+    """Outcome of :func:`find_optimal_plan_exhaustive`."""
+
+    plan: Plan
+    cost: float
+    states_explored: int
+
+
+def _valid_actions(state: Vector, problem: ProblemInstance) -> list[Vector]:
+    """Every action ``p`` with ``0 <= p <= state`` and non-full post-state.
+
+    This is the unrestricted action space of Definition 1 -- not merely
+    greedy or minimal actions.  Exponential in ``sum(state)``; callers
+    guard instance size.
+    """
+    ranges = [range(k + 1) for k in state]
+    actions = []
+    for p in itertools.product(*ranges):
+        post = sub_vectors(state, p)
+        if not problem.is_full(post):
+            actions.append(p)
+    return actions
+
+
+def find_optimal_plan_exhaustive(
+    problem: ProblemInstance, max_states: int = 200_000
+) -> ExhaustiveResult:
+    """Compute the globally optimal valid plan by forward DP.
+
+    The DP key is the post-action state at each time step; the value is the
+    cheapest cost of any valid prefix reaching it, plus backpointers for
+    plan reconstruction.  At the horizon the plan is forced to flush the
+    entire pre-action state (``p_T = s_T``).
+
+    Raises ``MemoryError``-flavoured ``ValueError`` when the reachable
+    state count exceeds ``max_states``; this oracle is for small instances
+    only.
+    """
+    # layer: post_state -> (cost, prev_post_state, action)
+    layer: dict[Vector, tuple[float, Vector | None, Vector | None]] = {
+        zero_vector(problem.n): (0.0, None, None)
+    }
+    history: list[dict[Vector, tuple[float, Vector | None, Vector | None]]] = []
+    states_explored = 0
+
+    for t in range(problem.horizon + 1):
+        arrivals = problem.arrivals[t]
+        next_layer: dict[Vector, tuple[float, Vector | None, Vector | None]] = {}
+        final = t == problem.horizon
+        for prev_post, (cost, __, __) in layer.items():
+            pre = add_vectors(prev_post, arrivals)
+            if final:
+                candidate_actions: list[Vector] = [pre]
+            else:
+                candidate_actions = _valid_actions(pre, problem)
+            for action in candidate_actions:
+                post = sub_vectors(pre, action)
+                new_cost = cost + problem.refresh_cost(action)
+                existing = next_layer.get(post)
+                if existing is None or new_cost < existing[0] - 1e-12:
+                    next_layer[post] = (new_cost, prev_post, action)
+            states_explored += len(candidate_actions)
+            if states_explored > max_states:
+                raise ValueError(
+                    f"exhaustive search exceeded max_states={max_states}; "
+                    f"instance too large for the oracle"
+                )
+        history.append(next_layer)
+        layer = next_layer
+
+    zero = zero_vector(problem.n)
+    if zero not in layer:
+        raise ValueError("no valid plan exists for this instance")
+    best_cost = layer[zero][0]
+
+    # Reconstruct the action sequence by walking backpointers.
+    actions: list[Vector] = []
+    post = zero
+    for t in range(problem.horizon, -1, -1):
+        cost, prev_post, action = history[t][post]
+        assert action is not None
+        actions.append(action)
+        assert prev_post is not None or t == 0
+        post = prev_post if prev_post is not None else zero
+    actions.reverse()
+    plan = Plan(actions)
+    plan.check_valid(problem)
+    return ExhaustiveResult(plan=plan, cost=best_cost, states_explored=states_explored)
+
+
+def find_optimal_lazy_plan_exhaustive(
+    problem: ProblemInstance, max_states: int = 200_000
+) -> ExhaustiveResult:
+    """Optimal plan restricted to *lazy* plans (actions only on full states).
+
+    Used by tests of Lemma 1: the optimal lazy cost must equal the
+    unrestricted optimum.  Same DP as
+    :func:`find_optimal_plan_exhaustive`, but non-full pre-action states
+    admit only the zero action.
+    """
+    layer: dict[Vector, tuple[float, Vector | None, Vector | None]] = {
+        zero_vector(problem.n): (0.0, None, None)
+    }
+    history: list[dict[Vector, tuple[float, Vector | None, Vector | None]]] = []
+    states_explored = 0
+
+    for t in range(problem.horizon + 1):
+        arrivals = problem.arrivals[t]
+        next_layer: dict[Vector, tuple[float, Vector | None, Vector | None]] = {}
+        final = t == problem.horizon
+        for prev_post, (cost, __, __) in layer.items():
+            pre = add_vectors(prev_post, arrivals)
+            if final:
+                candidate_actions: list[Vector] = [pre]
+            elif problem.is_full(pre):
+                candidate_actions = [
+                    a for a in _valid_actions(pre, problem) if any(a)
+                ]
+            else:
+                candidate_actions = [zero_vector(problem.n)]
+            for action in candidate_actions:
+                post = sub_vectors(pre, action)
+                new_cost = cost + problem.refresh_cost(action)
+                existing = next_layer.get(post)
+                if existing is None or new_cost < existing[0] - 1e-12:
+                    next_layer[post] = (new_cost, prev_post, action)
+            states_explored += len(candidate_actions)
+            if states_explored > max_states:
+                raise ValueError(
+                    f"exhaustive lazy search exceeded max_states={max_states}"
+                )
+        history.append(next_layer)
+        layer = next_layer
+
+    zero = zero_vector(problem.n)
+    if zero not in layer:
+        raise ValueError("no valid lazy plan exists for this instance")
+    best_cost = layer[zero][0]
+    actions = []
+    post = zero
+    for t in range(problem.horizon, -1, -1):
+        cost, prev_post, action = history[t][post]
+        assert action is not None
+        actions.append(action)
+        post = prev_post if prev_post is not None else zero
+    actions.reverse()
+    plan = Plan(actions)
+    plan.check_valid(problem)
+    return ExhaustiveResult(plan=plan, cost=best_cost, states_explored=states_explored)

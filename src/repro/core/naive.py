@@ -1,0 +1,26 @@
+"""The NAIVE symmetric baseline (Sections 1 and 5 of the paper).
+
+Traditional deferred view maintenance batches *all* modifications and, when
+the response-time constraint is about to be violated, processes *all* of
+them together.  It is lazy and greedy, but deliberately not minimal: every
+action empties every delta table.  All prior batch-maintenance work the
+paper surveys uses this symmetric shape; the paper's contribution is
+showing (and exploiting) how much asymmetric plans can beat it.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import Policy
+from repro.core.problem import Vector, zero_vector
+
+
+class NaivePolicy(Policy):
+    """Flush every delta table whenever the pre-action state is full."""
+
+    def decide(self, t: int, pre_state: Vector) -> Vector:
+        if self.is_full(pre_state):
+            return pre_state
+        return zero_vector(self.n)
+
+    def __repr__(self) -> str:
+        return "NaivePolicy()"

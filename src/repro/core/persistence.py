@@ -1,0 +1,128 @@
+"""Plan and cost-function persistence.
+
+Section 4.2's ADAPT strategy precomputes an optimal LGM plan for an
+estimated horizon and replays it at runtime; the paper notes "the cost of
+precomputing and remembering the plan can be expensive".  This module is
+the *remembering* half: plans, traces, and calibrated cost functions
+serialize to plain JSON so a plan computed offline (possibly on a beefier
+machine) can be shipped to the maintenance runtime.
+
+Only the cost-function families with value semantics round-trip
+(:class:`LinearCost`, :class:`TabulatedCost`, :class:`BlockIOCost`,
+:class:`ConcaveCost`); exotic callables must be re-measured at load time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.costfuncs import (
+    BlockIOCost,
+    ConcaveCost,
+    CostFunction,
+    LinearCost,
+    TabulatedCost,
+)
+from repro.core.plan import Plan
+
+
+def plan_to_dict(plan: Plan) -> dict[str, Any]:
+    """A JSON-ready representation of a plan."""
+    return {
+        "format": "repro-plan-v1",
+        "horizon": plan.horizon,
+        "tables": plan.n,
+        "actions": [list(a) for a in plan.actions],
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> Plan:
+    """Reconstruct a plan; validates shape and format."""
+    if data.get("format") != "repro-plan-v1":
+        raise ValueError(f"not a repro plan: format={data.get('format')!r}")
+    plan = Plan(data["actions"])
+    if plan.horizon != data["horizon"] or plan.n != data["tables"]:
+        raise ValueError(
+            "plan body does not match its declared shape "
+            f"(T={data['horizon']}, n={data['tables']})"
+        )
+    return plan
+
+
+def save_plan(plan: Plan, path: str | Path) -> None:
+    """Write a plan as JSON."""
+    Path(path).write_text(json.dumps(plan_to_dict(plan)))
+
+
+def load_plan(path: str | Path) -> Plan:
+    """Read a plan written by :func:`save_plan`."""
+    return plan_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Cost functions
+# ----------------------------------------------------------------------
+
+
+def cost_function_to_dict(f: CostFunction) -> dict[str, Any]:
+    """A JSON-ready representation of a serializable cost function."""
+    if isinstance(f, LinearCost):
+        return {"kind": "linear", "slope": f.slope, "setup": f.setup}
+    if isinstance(f, TabulatedCost):
+        return {"kind": "tabulated", "samples": [list(s) for s in f.samples]}
+    if isinstance(f, BlockIOCost):
+        return {
+            "kind": "block-io",
+            "io_cost": f.io_cost,
+            "block_size": f.block_size,
+            "slope": f.slope,
+        }
+    if isinstance(f, ConcaveCost):
+        return {"kind": "concave", "coeff": f.coeff, "exponent": f.exponent}
+    raise TypeError(f"{type(f).__name__} is not serializable")
+
+
+def cost_function_from_dict(data: dict[str, Any]) -> CostFunction:
+    """Reconstruct a cost function from :func:`cost_function_to_dict`."""
+    kind = data.get("kind")
+    if kind == "linear":
+        return LinearCost(slope=data["slope"], setup=data["setup"])
+    if kind == "tabulated":
+        return TabulatedCost([tuple(s) for s in data["samples"]])
+    if kind == "block-io":
+        return BlockIOCost(
+            io_cost=data["io_cost"],
+            block_size=data["block_size"],
+            slope=data["slope"],
+        )
+    if kind == "concave":
+        return ConcaveCost(coeff=data["coeff"], exponent=data["exponent"])
+    raise ValueError(f"unknown cost-function kind {kind!r}")
+
+
+def save_cost_functions(
+    functions: dict[str, CostFunction], path: str | Path
+) -> None:
+    """Persist a named set of calibrated cost functions."""
+    payload = {
+        "format": "repro-costs-v1",
+        "functions": {
+            name: cost_function_to_dict(f) for name, f in functions.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_cost_functions(path: str | Path) -> dict[str, CostFunction]:
+    """Read cost functions written by :func:`save_cost_functions`."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != "repro-costs-v1":
+        raise ValueError(
+            f"not a repro cost-function file: format={data.get('format')!r}"
+        )
+    return {
+        name: cost_function_from_dict(body)
+        for name, body in data["functions"].items()
+    }

@@ -1,0 +1,110 @@
+"""Online maintenance policy protocol.
+
+A *policy* decides, at each time step, how much of each delta table to
+process -- without access to future arrivals.  This is the runtime contract
+between the simulator (:mod:`repro.core.simulator`), the live view
+maintainer (:mod:`repro.ivm.maintainer`), and the paper's strategies:
+
+* :class:`~repro.core.naive.NaivePolicy` (symmetric baseline),
+* :class:`~repro.core.adapt.AdaptPolicy` (precomputed plan, Section 4.2),
+* :class:`~repro.core.online.OnlinePolicy` (heuristic, Section 4.3).
+
+Policies are deliberately blinded: ``decide`` receives only the current
+time, the current pre-action state, and the static problem parameters
+(cost functions and constraint) bound at :meth:`Policy.reset`.  Anything a
+policy wants to know about the arrival process it must learn through
+:meth:`Policy.observe`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.core.costfuncs import CostFunction
+from repro.core.problem import Vector
+
+
+class PolicyError(RuntimeError):
+    """Raised when a policy emits an action that violates Definition 1."""
+
+
+class Policy(ABC):
+    """Base class for online batch-maintenance scheduling policies."""
+
+    def reset(
+        self,
+        cost_functions: Sequence[CostFunction],
+        limit: float,
+    ) -> None:
+        """Bind the policy to an instance's static parameters.
+
+        Called once before the first time step and again whenever the view
+        is refreshed and accounting restarts.  Subclasses overriding this
+        must call ``super().reset(...)``.
+        """
+        self.cost_functions = tuple(cost_functions)
+        self.limit = float(limit)
+
+    @property
+    def n(self) -> int:
+        """Number of base tables (available after :meth:`reset`)."""
+        return len(self.cost_functions)
+
+    def observe(self, t: int, arrivals: Vector) -> None:
+        """Notify the policy of the modifications arriving at time ``t``.
+
+        Called before :meth:`decide` at the same step.  Default: ignore.
+        Policies that estimate arrival rates (ONLINE) override this.
+        """
+
+    @abstractmethod
+    def decide(self, t: int, pre_state: Vector) -> Vector:
+        """Return the action to take at time ``t`` given pre-state ``s_t``.
+
+        Must return an n-vector ``p`` with ``0 <= p <= pre_state`` whose
+        post-action state satisfies the response-time constraint.  Returning
+        the zero vector is legal whenever ``pre_state`` is not full.
+        """
+
+    def refresh_cost(self, state: Vector) -> float:
+        """``f(s)`` under the bound cost functions (helper for subclasses)."""
+        return sum(f(k) for f, k in zip(self.cost_functions, state, strict=True))
+
+    def is_full(self, state: Vector) -> bool:
+        """Whether ``state`` violates the response-time constraint."""
+        return self.refresh_cost(state) > self.limit + 1e-9
+
+    def record_action(self, t: int, action: Vector, cost: float) -> None:
+        """Notify the policy its action was executed at cost ``cost``.
+
+        The simulator calls this after applying each step's action
+        (including the forced final refresh).  Default: ignore.  ONLINE
+        uses it to maintain the running cost ``F_t``.
+        """
+
+
+class ReplayPolicy(Policy):
+    """Replays a precomputed action sequence through the policy interface.
+
+    Lets precomputed plans (OPT_LGM from the A* search) run on the same
+    runtime as the online strategies -- in particular against the *live*
+    view maintainer for the Figure 5 simulation-validation experiment.
+    Actions are clamped to the available backlog, which is a no-op when the
+    live arrivals match the arrivals the plan was computed for.
+    """
+
+    def __init__(self, actions):
+        self.actions = [tuple(int(x) for x in a) for a in actions]
+
+    def decide(self, t: int, pre_state: Vector) -> Vector:
+        if not 0 <= t < len(self.actions):
+            raise PolicyError(
+                f"ReplayPolicy has no action for t={t} "
+                f"(plan covers 0..{len(self.actions) - 1})"
+            )
+        scheduled = self.actions[t]
+        return tuple(min(p, s) for p, s in zip(scheduled, pre_state))
+
+    def __repr__(self) -> str:
+        return f"ReplayPolicy(T={len(self.actions) - 1})"

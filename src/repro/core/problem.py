@@ -1,0 +1,251 @@
+"""The batch view-maintenance problem instance (Section 2 of the paper).
+
+A :class:`ProblemInstance` bundles everything Section 2's problem statement
+fixes in advance:
+
+* ``n`` base tables with cost functions ``f_1..f_n``,
+* a modification arrival sequence ``d_0..d_T`` (one n-vector per discrete
+  time step; component ``i`` counts modifications to base table ``R_i``
+  arriving at that step),
+* the response-time constraint ``C``.
+
+States and actions are plain tuples of non-negative ints, indexed by base
+table.  The *pre-action* state at time ``t`` is the delta-table sizes after
+the arrivals ``d_t`` land; the *post-action* state subtracts the action
+taken at ``t``.  A state is **full** when its refresh cost exceeds ``C``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.costfuncs import CostFunction, check_cost_function
+
+Vector = tuple[int, ...]
+
+
+def zero_vector(n: int) -> Vector:
+    """The all-zeros n-vector."""
+    return (0,) * n
+
+
+def add_vectors(a: Vector, b: Vector) -> Vector:
+    """Componentwise sum of two n-vectors."""
+    return tuple(x + y for x, y in zip(a, b, strict=True))
+
+
+def sub_vectors(a: Vector, b: Vector) -> Vector:
+    """Componentwise difference ``a - b`` of two n-vectors."""
+    return tuple(x - y for x, y in zip(a, b, strict=True))
+
+
+def is_nonnegative(v: Vector) -> bool:
+    """True when every component of ``v`` is >= 0."""
+    return all(x >= 0 for x in v)
+
+
+class ProblemInstance:
+    """An instance of the batch incremental maintenance problem.
+
+    Parameters
+    ----------
+    cost_functions:
+        One monotone subadditive :class:`CostFunction` per base table.
+    limit:
+        The response-time constraint ``C >= 0``: every post-action state
+        must have refresh cost at most ``C``.
+    arrivals:
+        The modification arrival sequence ``d_0 .. d_T``.  Length ``T + 1``
+        where ``T`` is the refresh time.  Each element is an n-vector of
+        non-negative modification counts.
+    validate:
+        When true, empirically check monotonicity and subadditivity of each
+        cost function over a small sample range.  Disable for expensive
+        tabulated functions that were validated at calibration time.
+
+    Notes
+    -----
+    The instance is immutable; planners treat it as a value.  All heavy
+    per-instance precomputation (cumulative and suffix arrival totals, the
+    A* heuristic's per-table batch bounds) is cached lazily.
+    """
+
+    def __init__(
+        self,
+        cost_functions: Sequence[CostFunction],
+        limit: float,
+        arrivals: Sequence[Sequence[int]],
+        validate: bool = False,
+    ):
+        if not cost_functions:
+            raise ValueError("need at least one base table")
+        if limit < 0:
+            raise ValueError(f"response-time constraint must be >= 0, got {limit}")
+        if not arrivals:
+            raise ValueError("arrival sequence must cover at least time step 0")
+        self.cost_functions: tuple[CostFunction, ...] = tuple(cost_functions)
+        self.limit = float(limit)
+        n = len(self.cost_functions)
+        cleaned: list[Vector] = []
+        for t, d in enumerate(arrivals):
+            d = tuple(int(x) for x in d)
+            if len(d) != n:
+                raise ValueError(
+                    f"arrival vector at t={t} has {len(d)} components, expected {n}"
+                )
+            if not is_nonnegative(d):
+                raise ValueError(f"arrival vector at t={t} has negative components")
+            cleaned.append(d)
+        self.arrivals: tuple[Vector, ...] = tuple(cleaned)
+        if validate:
+            for f in self.cost_functions:
+                check_cost_function(f)
+        self._suffix_totals: list[Vector] | None = None
+        self._batch_bounds: Vector | None = None
+        self._min_rates: tuple[float, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of base tables."""
+        return len(self.cost_functions)
+
+    @property
+    def horizon(self) -> int:
+        """The refresh time ``T`` (arrivals cover ``0..T``)."""
+        return len(self.arrivals) - 1
+
+    def total_arrivals(self) -> Vector:
+        """Total modifications per table over the whole period."""
+        total = zero_vector(self.n)
+        for d in self.arrivals:
+            total = add_vectors(total, d)
+        return total
+
+    # ------------------------------------------------------------------
+    # Cost / fullness
+    # ------------------------------------------------------------------
+
+    def refresh_cost(self, state: Vector) -> float:
+        """``f(s) = sum_i f_i(s[i])`` -- cost of refreshing the view now."""
+        return sum(f(k) for f, k in zip(self.cost_functions, state, strict=True))
+
+    def is_full(self, state: Vector) -> bool:
+        """True when the refresh cost of ``state`` exceeds the constraint."""
+        return self.refresh_cost(state) > self.limit + 1e-9
+
+    # ------------------------------------------------------------------
+    # Derived arrival statistics
+    # ------------------------------------------------------------------
+
+    def suffix_totals(self) -> list[Vector]:
+        """``suffix_totals()[t][i]`` = modifications to R_i arriving in (t, T].
+
+        Used by the A* heuristic: ``K_i`` for a node with timestamp ``t`` is
+        exactly ``suffix_totals()[t][i]``.  Index ``t`` ranges over ``-1..T``
+        (shifted by one: entry 0 corresponds to ``t = -1``), but to keep
+        call sites simple the returned list has ``T + 2`` entries and is
+        indexed via :meth:`future_arrivals`.
+        """
+        if self._suffix_totals is None:
+            totals: list[Vector] = [zero_vector(self.n)] * (self.horizon + 2)
+            acc = zero_vector(self.n)
+            for t in range(self.horizon, -1, -1):
+                acc = add_vectors(acc, self.arrivals[t])
+                totals[t] = acc
+            totals[self.horizon + 1] = zero_vector(self.n)
+            self._suffix_totals = totals
+        return self._suffix_totals
+
+    def future_arrivals(self, t: int) -> Vector:
+        """Total modifications per table arriving strictly after time ``t``."""
+        idx = t + 1
+        if idx < 0:
+            idx = 0
+        if idx > self.horizon + 1:
+            idx = self.horizon + 1
+        return self.suffix_totals()[idx]
+
+    def max_step_arrival(self, i: int) -> int:
+        """``m_i``: the largest single-step arrival count for table ``i``."""
+        return max((d[i] for d in self.arrivals), default=0)
+
+    def batch_bounds(self) -> Vector:
+        """``b_i = m_i + max{b : f_i(b) <= C}`` per table (A* heuristic).
+
+        ``b_i`` bounds the number of ``R_i`` modifications one action can
+        ever need to process: a lazy plan acts as soon as the state is full,
+        so the backlog at action time is at most one constraint-sized batch
+        plus the single largest arrival burst.
+        """
+        if self._batch_bounds is None:
+            bounds = []
+            for i, f in enumerate(self.cost_functions):
+                base = f.batch_limit(self.limit)
+                bounds.append(max(1, self.max_step_arrival(i) + base))
+            self._batch_bounds = tuple(bounds)
+        return self._batch_bounds
+
+    def min_batch_rates(self) -> tuple[float, ...]:
+        """Per-table ``min_{1 <= k <= b_i} f_i(k) / k``: the cheapest
+        possible per-modification processing rate any legal batch achieves.
+
+        Used by the A* heuristic's consistent lower bound: any plan pays at
+        least this rate for every remaining modification, and the bound
+        decreases by exactly ``rate * q_i <= f_i(q_i)`` across an action,
+        which is what makes the heuristic consistent (see
+        :mod:`repro.core.astar` for why the paper's floor-based estimate is
+        not).  Exact up to batch sizes of 65536; beyond that the rate is
+        conservatively set to the best sampled rate including ``b_i``
+        itself, or 0 for genuinely unbounded batches.
+        """
+        if self._min_rates is None:
+            rates = []
+            for i, f in enumerate(self.cost_functions):
+                b = self.batch_bounds()[i]
+                if b <= 65536:
+                    rate = min(f(k) / k for k in range(1, b + 1))
+                else:
+                    # The exact minimum could hide between samples; a too-
+                    # high rate would make the heuristic inadmissible, so
+                    # degrade to no guidance (h = 0) for this table.
+                    rate = 0.0
+                rates.append(rate)
+            self._min_rates = tuple(rates)
+        return self._min_rates
+
+    # ------------------------------------------------------------------
+    # Instance surgery (used by ADAPT and the experiment drivers)
+    # ------------------------------------------------------------------
+
+    def truncated(self, new_horizon: int) -> "ProblemInstance":
+        """The same instance with the arrival sequence cut at ``new_horizon``."""
+        if not 0 <= new_horizon <= self.horizon:
+            raise ValueError(
+                f"new horizon {new_horizon} outside [0, {self.horizon}]"
+            )
+        return ProblemInstance(
+            self.cost_functions, self.limit, self.arrivals[: new_horizon + 1]
+        )
+
+    def extended_periodic(self, new_horizon: int) -> "ProblemInstance":
+        """Extend the arrival sequence periodically up to ``new_horizon``.
+
+        Section 4.2 analyses ADAPT for ``T > T_0`` under the assumption that
+        the arrival sequence is periodic with period ``T_0``; this helper
+        materializes that assumption.
+        """
+        if new_horizon < self.horizon:
+            raise ValueError("use truncated() to shrink the horizon")
+        period = len(self.arrivals)
+        arrivals = [self.arrivals[t % period] for t in range(new_horizon + 1)]
+        return ProblemInstance(self.cost_functions, self.limit, arrivals)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProblemInstance(n={self.n}, T={self.horizon}, C={self.limit}, "
+            f"total={self.total_arrivals()})"
+        )

@@ -1,0 +1,103 @@
+"""Plan and policy execution against a problem instance.
+
+The paper's experimental methodology (Section 5, "Simulation and
+validation") executes maintenance plans in two ways: *actually* running the
+maintenance SQL on a live system, and *simulating* the plan against
+measured cost functions.  This module is the simulation half; the live half
+is :mod:`repro.ivm.maintainer`, and Figure 5 compares the two.
+
+Both entry points return a :class:`~repro.core.plan.PlanTrace`, so every
+experiment driver consumes one uniform result shape regardless of whether
+the schedule came from a precomputed plan, an online policy, or a live run.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import Plan, PlanTrace
+from repro.core.policies import Policy, PolicyError
+from repro.core.problem import (
+    ProblemInstance,
+    Vector,
+    add_vectors,
+    is_nonnegative,
+    sub_vectors,
+    zero_vector,
+)
+
+
+def execute_plan(problem: ProblemInstance, plan: Plan) -> PlanTrace:
+    """Simulate a fully specified plan; validate it as a side effect."""
+    plan.check_valid(problem)
+    return _trace(problem, plan.actions, metadata={"source": "plan"})
+
+
+def simulate_policy(
+    problem: ProblemInstance, policy: Policy, reset: bool = True
+) -> PlanTrace:
+    """Drive an online policy over the instance's arrival sequence.
+
+    The policy sees arrivals step by step (via :meth:`Policy.observe`) and
+    is asked to act at every step except the horizon, where the refresh is
+    forced and the entire pre-action state is processed (``p_T = s_T``).
+    Each emitted action is checked against Definition 1; violations raise
+    :class:`~repro.core.policies.PolicyError` rather than being silently
+    repaired, because a policy that breaks the response-time constraint is
+    a bug, not a degraded mode.
+    """
+    if reset:
+        policy.reset(problem.cost_functions, problem.limit)
+    state = zero_vector(problem.n)
+    actions: list[Vector] = []
+    for t in range(problem.horizon + 1):
+        arrivals = problem.arrivals[t]
+        policy.observe(t, arrivals)
+        pre = add_vectors(state, arrivals)
+        if t == problem.horizon:
+            action = pre  # forced refresh
+        else:
+            action = tuple(int(x) for x in policy.decide(t, pre))
+        post = sub_vectors(pre, action)
+        if not is_nonnegative(post):
+            raise PolicyError(
+                f"{policy!r} at t={t}: action {action} exceeds backlog {pre}"
+            )
+        if t < problem.horizon and problem.is_full(post):
+            raise PolicyError(
+                f"{policy!r} at t={t}: post-action state {post} violates "
+                f"C={problem.limit}"
+            )
+        policy.record_action(t, action, problem.refresh_cost(action))
+        actions.append(action)
+        state = post
+    return _trace(problem, actions, metadata={"source": "policy", "policy": repr(policy)})
+
+
+def _trace(
+    problem: ProblemInstance, actions: list[Vector] | tuple[Vector, ...], metadata: dict
+) -> PlanTrace:
+    """Compute the full execution trace for a known-valid action sequence."""
+    plan = Plan(actions)
+    pre_states: list[Vector] = []
+    post_states: list[Vector] = []
+    action_costs: list[float] = []
+    state = zero_vector(problem.n)
+    peak = 0.0
+    total = 0.0
+    for t in range(problem.horizon + 1):
+        state = add_vectors(state, problem.arrivals[t])
+        pre_states.append(state)
+        cost = problem.refresh_cost(plan.actions[t])
+        action_costs.append(cost)
+        total += cost
+        state = sub_vectors(state, plan.actions[t])
+        post_states.append(state)
+        peak = max(peak, problem.refresh_cost(state))
+    return PlanTrace(
+        plan=plan,
+        total_cost=total,
+        action_costs=tuple(action_costs),
+        pre_states=tuple(pre_states),
+        post_states=tuple(post_states),
+        peak_refresh_cost=peak,
+        metadata=metadata,
+    )

@@ -1,0 +1,313 @@
+"""The database facade: tables, shared cost accounting, query execution.
+
+:class:`Database` owns the tables and a single
+:class:`~repro.engine.costmodel.OperationCounter`; every operator charges
+that counter, so ``db.counter.window()`` brackets any unit of work (a
+maintenance batch, a full refresh) and yields its simulated cost -- the
+engine-side equivalent of the paper timing its maintenance SQL statements.
+
+Query planning is deliberately rudimentary but honest:
+
+* left-deep join order as declared in the :class:`~repro.engine.query.QuerySpec`;
+* per join step, **index-nested-loop** when the inner table has an index
+  on the join column, else **hash join** (build on the inner);
+* filters are pushed down to the earliest point where their columns exist.
+
+This mirrors what a real optimizer would do to these queries and is the
+mechanism that turns physical design (which tables are indexed) into the
+asymmetric delta-processing cost functions the paper exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.engine.aggregate import Aggregate
+from repro.engine.costmodel import CostModel, OperationCounter
+from repro.engine.errors import SchemaError
+from repro.engine.expr import Expression, resolve_column
+from repro.engine.join import HashJoin, IndexNestedLoopJoin
+from repro.engine.operators import Filter, Operator, Project, RowSource, SeqScan
+from repro.engine.query import QueryResult, QuerySpec
+from repro.engine.table import Table
+from repro.engine.types import Schema
+
+
+class Database:
+    """A named collection of tables sharing one cost counter."""
+
+    def __init__(self, cost_model: CostModel | None = None):
+        self.counter = OperationCounter(model=cost_model or CostModel())
+        self.tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create an empty table registered under ``name``."""
+        if name in self.tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, schema, counter=self.counter)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table; raises :class:`SchemaError` when absent."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"no table {name!r}; have {sorted(self.tables)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        spec: QuerySpec,
+        snapshot_lsns: Mapping[str, int] | None = None,
+        substitutions: Mapping[str, Sequence[tuple]] | None = None,
+    ) -> QueryResult:
+        """Run a query and materialize its result.
+
+        Parameters
+        ----------
+        spec:
+            The logical query.
+        snapshot_lsns:
+            Optional per-*alias* LSNs: read that table as of the given
+            modification number instead of "now".  This is how incremental
+            maintenance reads base tables at the state the view has
+            incorporated.
+        substitutions:
+            Optional per-alias row lists replacing a table's contents
+            entirely (rows must match the table's schema width).  This is
+            how maintenance evaluates ``Q`` with a delta batch substituted
+            for a base table.
+        """
+        snapshot_lsns = snapshot_lsns or {}
+        substitutions = substitutions or {}
+        self.counter.charge("startups")
+
+        plan = self._source(spec, spec.base_alias, spec.base_table,
+                            snapshot_lsns, substitutions)
+        pending_filters = list(spec.filters)
+        plan = self._apply_ready_filters(plan, pending_filters)
+
+        for join in spec.joins:
+            inner_table = self.table(join.table)
+            substituted = join.alias in substitutions
+            if substituted:
+                right = RowSource(
+                    substitutions[join.alias],
+                    inner_table.schema.names,
+                    join.alias,
+                    self.counter,
+                )
+                plan = HashJoin(
+                    plan, right, join.left_column,
+                    f"{join.alias}.{join.right_column}",
+                )
+            else:
+                snapshot = inner_table.snapshot(snapshot_lsns.get(join.alias))
+                if snapshot.has_index(join.right_column):
+                    plan = IndexNestedLoopJoin(
+                        plan, snapshot, join.alias,
+                        join.left_column, join.right_column,
+                    )
+                else:
+                    right = SeqScan(snapshot, join.alias, self.counter)
+                    plan = HashJoin(
+                        plan, right, join.left_column,
+                        f"{join.alias}.{join.right_column}",
+                    )
+            plan = self._apply_ready_filters(plan, pending_filters)
+
+        if pending_filters:
+            unresolved = [repr(f) for f in pending_filters]
+            raise SchemaError(f"filters reference unknown columns: {unresolved}")
+
+        if spec.aggregate is not None:
+            agg = spec.aggregate
+            plan = Aggregate(plan, agg.func, agg.value, agg.group_by)
+        elif spec.projection is not None:
+            plan = Project(plan, spec.projection)
+
+        columns = tuple(
+            sorted(plan.layout, key=plan.layout.__getitem__)
+        )
+        rows = plan.rows()
+        if spec.distinct:
+            # Order-preserving dedup; one hash operation per input row.
+            self.counter.charge("hash_probes", len(rows))
+            rows = list(dict.fromkeys(rows))
+        if spec.order_by:
+            rows = self._apply_order(rows, spec.order_by, plan.layout)
+        if spec.limit is not None:
+            rows = rows[: spec.limit]
+        return QueryResult(rows=rows, columns=columns)
+
+    def _apply_order(self, rows, order_by, layout):
+        """Sort the final rows by the ORDER BY keys (stable, last key
+        applied first), charging one sort item per row per key."""
+        for order in reversed(order_by):
+            pos = resolve_column(order.column, layout)
+            self.counter.charge("sort_items", len(rows))
+            rows = sorted(
+                rows, key=lambda row: row[pos], reverse=order.descending
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+
+    def explain(
+        self,
+        spec: QuerySpec,
+        substitutions: Mapping[str, Sequence[tuple]] | None = None,
+    ) -> str:
+        """A textual description of the physical plan ``execute`` would run.
+
+        Mirrors the planner's decisions (access paths, join algorithms,
+        filter placement) without executing anything -- in particular
+        without paying hash-join build costs.
+        """
+        substitutions = substitutions or {}
+        lines: list[str] = []
+        indent = 0
+
+        def emit(text: str) -> None:
+            lines.append("  " * indent + text)
+
+        pending = list(spec.filters)
+
+        def emit_ready_filters(layout: dict[str, int]) -> None:
+            nonlocal pending
+            still = []
+            for predicate in pending:
+                if self._resolvable(predicate, layout):
+                    emit(f"Filter: {predicate!r}")
+                else:
+                    still.append(predicate)
+            pending = still
+
+        base_table = self.table(spec.base_table)
+        layout = {
+            f"{spec.base_alias}.{name}": i
+            for i, name in enumerate(base_table.schema.names)
+        }
+        if spec.base_alias in substitutions:
+            emit(
+                f"RowSource({spec.base_alias} := delta of "
+                f"{spec.base_table}, {len(substitutions[spec.base_alias])} rows)"
+            )
+        else:
+            emit(
+                f"SeqScan({spec.base_table} AS {spec.base_alias}, "
+                f"~{base_table.live_count} rows)"
+            )
+        emit_ready_filters(layout)
+
+        for join in spec.joins:
+            inner = self.table(join.table)
+            inner_layout = {
+                f"{join.alias}.{name}": i
+                for i, name in enumerate(inner.schema.names)
+            }
+            width = len(layout)
+            layout.update(
+                {name: width + pos for name, pos in inner_layout.items()}
+            )
+            indent += 1
+            if join.alias in substitutions:
+                emit(
+                    f"HashJoin(build delta {join.alias}, "
+                    f"{len(substitutions[join.alias])} rows) ON "
+                    f"{join.left_column} = {join.alias}.{join.right_column}"
+                )
+            elif inner.index_on(join.right_column) is not None:
+                emit(
+                    f"IndexNestedLoopJoin({join.table} AS {join.alias} via "
+                    f"index on {join.right_column}) ON "
+                    f"{join.left_column} = {join.alias}.{join.right_column}"
+                )
+            else:
+                emit(
+                    f"HashJoin(build SeqScan({join.table} AS {join.alias}, "
+                    f"~{inner.live_count} rows)) ON "
+                    f"{join.left_column} = {join.alias}.{join.right_column}"
+                )
+            emit_ready_filters(layout)
+
+        indent += 1
+        if spec.aggregate is not None:
+            group = (
+                f" GROUP BY {', '.join(spec.aggregate.group_by)}"
+                if spec.aggregate.group_by
+                else ""
+            )
+            emit(
+                f"Aggregate({spec.aggregate.func.upper()}"
+                f"({spec.aggregate.value!r})){group}"
+            )
+        elif spec.projection is not None:
+            emit(f"Project({', '.join(spec.projection)})")
+        for order in spec.order_by:
+            emit(
+                f"Sort({order.column} "
+                f"{'DESC' if order.descending else 'ASC'})"
+            )
+        if spec.limit is not None:
+            emit(f"Limit({spec.limit})")
+        if pending:
+            emit(f"!! unresolved filters: {[repr(f) for f in pending]}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Planner internals
+    # ------------------------------------------------------------------
+
+    def _source(
+        self,
+        spec: QuerySpec,
+        alias: str,
+        table_name: str,
+        snapshot_lsns: Mapping[str, int],
+        substitutions: Mapping[str, Sequence[tuple]],
+    ) -> Operator:
+        table = self.table(table_name)
+        if alias in substitutions:
+            return RowSource(
+                substitutions[alias], table.schema.names, alias, self.counter
+            )
+        snapshot = table.snapshot(snapshot_lsns.get(alias))
+        return SeqScan(snapshot, alias, self.counter)
+
+    def _apply_ready_filters(
+        self, plan: Operator, pending: list[Expression]
+    ) -> Operator:
+        """Push down every pending filter whose columns are now available."""
+        still_pending = []
+        for predicate in pending:
+            if self._resolvable(predicate, plan.layout):
+                plan = Filter(plan, predicate)
+            else:
+                still_pending.append(predicate)
+        pending[:] = still_pending
+        return plan
+
+    @staticmethod
+    def _resolvable(predicate: Expression, layout: Mapping[str, int]) -> bool:
+        try:
+            for name in predicate.references():
+                resolve_column(name, layout)
+        except SchemaError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Database(tables={sorted(self.tables)})"

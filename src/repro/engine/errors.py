@@ -1,0 +1,21 @@
+"""Engine exception hierarchy.
+
+All engine errors derive from :class:`EngineError` so callers can catch the
+whole family; the subclasses distinguish definition-time problems
+(:class:`SchemaError`) from run-time execution problems
+(:class:`ExecutionError`).
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all relational-engine errors."""
+
+
+class SchemaError(EngineError):
+    """A table, column, index, or query definition is malformed."""
+
+
+class ExecutionError(EngineError):
+    """A query or modification failed at execution time."""

@@ -1,0 +1,294 @@
+"""Scalar expressions and predicates.
+
+Expressions form a small tree (column references, constants, comparisons,
+boolean connectives, arithmetic).  They are *compiled* against a row layout
+-- a mapping from qualified column names like ``"S.suppkey"`` to tuple
+positions -- into plain Python closures, so per-row evaluation inside scans
+and joins costs one function call, not a tree walk.
+
+Qualified names: operators tag every column with its table alias.  A bare
+``ColumnRef("suppkey")`` resolves if exactly one alias exposes that column;
+ambiguity is a :class:`~repro.engine.errors.SchemaError`.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping
+
+from repro.engine.errors import SchemaError
+
+RowPredicate = Callable[[tuple], Any]
+
+_COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Expression(ABC):
+    """Base class for scalar expressions."""
+
+    @abstractmethod
+    def compile(self, layout: Mapping[str, int]) -> RowPredicate:
+        """Compile to a closure evaluating this expression on a row tuple.
+
+        ``layout`` maps qualified column names to tuple positions.
+        """
+
+    @abstractmethod
+    def references(self) -> frozenset[str]:
+        """Column names (as written, possibly unqualified) this expression reads."""
+
+    # Operator sugar ---------------------------------------------------
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        return Comparison("=", self, _wrap(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return Comparison("!=", self, _wrap(other))
+
+    def __lt__(self, other):
+        return Comparison("<", self, _wrap(other))
+
+    def __le__(self, other):
+        return Comparison("<=", self, _wrap(other))
+
+    def __gt__(self, other):
+        return Comparison(">", self, _wrap(other))
+
+    def __ge__(self, other):
+        return Comparison(">=", self, _wrap(other))
+
+    def __add__(self, other):
+        return BinOp("+", self, _wrap(other))
+
+    def __sub__(self, other):
+        return BinOp("-", self, _wrap(other))
+
+    def __mul__(self, other):
+        return BinOp("*", self, _wrap(other))
+
+    def __truediv__(self, other):
+        return BinOp("/", self, _wrap(other))
+
+    def __hash__(self) -> int:  # expressions are identity-hashed
+        return id(self)
+
+
+def _wrap(value: Any) -> Expression:
+    """Lift a plain Python value into a :class:`Const`."""
+    if isinstance(value, Expression):
+        return value
+    return Const(value)
+
+
+class ColumnRef(Expression):
+    """A reference to a column, optionally qualified as ``alias.column``."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise SchemaError("empty column reference")
+        self.name = name
+
+    def compile(self, layout: Mapping[str, int]) -> RowPredicate:
+        pos = resolve_column(self.name, layout)
+        return lambda row: row[pos]
+
+    def references(self) -> frozenset[str]:
+        return frozenset([self.name])
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Const(Expression):
+    """A literal value."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def compile(self, layout: Mapping[str, int]) -> RowPredicate:
+        value = self.value
+        return lambda row: value
+
+    def references(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class Comparison(Expression):
+    """``left <op> right`` for a relational comparison operator."""
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _COMPARISONS:
+            raise SchemaError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def compile(self, layout: Mapping[str, int]) -> RowPredicate:
+        fn = _COMPARISONS[self.op]
+        left = self.left.compile(layout)
+        right = self.right.compile(layout)
+        return lambda row: fn(left(row), right(row))
+
+    def references(self) -> frozenset[str]:
+        return self.left.references() | self.right.references()
+
+    def equijoin_columns(self) -> tuple[str, str] | None:
+        """``(left_col, right_col)`` when this is ``col = col``, else None.
+
+        The planner uses this to recognize equi-join predicates eligible
+        for index-nested-loop or hash joins.
+        """
+        if (
+            self.op == "="
+            and isinstance(self.left, ColumnRef)
+            and isinstance(self.right, ColumnRef)
+        ):
+            return (self.left.name, self.right.name)
+        return None
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BinOp(Expression):
+    """Arithmetic on two sub-expressions."""
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _ARITHMETIC:
+            raise SchemaError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def compile(self, layout: Mapping[str, int]) -> RowPredicate:
+        fn = _ARITHMETIC[self.op]
+        left = self.left.compile(layout)
+        right = self.right.compile(layout)
+        return lambda row: fn(left(row), right(row))
+
+    def references(self) -> frozenset[str]:
+        return self.left.references() | self.right.references()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BoolOp(Expression):
+    """``AND`` / ``OR`` over two or more predicates."""
+
+    def __init__(self, op: str, operands: list[Expression]):
+        if op not in ("and", "or"):
+            raise SchemaError(f"unknown boolean operator {op!r}")
+        if len(operands) < 2:
+            raise SchemaError(f"{op} needs at least two operands")
+        self.op = op
+        self.operands = list(operands)
+
+    def compile(self, layout: Mapping[str, int]) -> RowPredicate:
+        compiled = [e.compile(layout) for e in self.operands]
+        if self.op == "and":
+            return lambda row: all(fn(row) for fn in compiled)
+        return lambda row: any(fn(row) for fn in compiled)
+
+    def references(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for e in self.operands:
+            out |= e.references()
+        return out
+
+    def __repr__(self) -> str:
+        sep = f" {self.op} "
+        return "(" + sep.join(repr(e) for e in self.operands) + ")"
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def compile(self, layout: Mapping[str, int]) -> RowPredicate:
+        fn = self.operand.compile(layout)
+        return lambda row: not fn(row)
+
+    def references(self) -> frozenset[str]:
+        return self.operand.references()
+
+    def __repr__(self) -> str:
+        return f"not_({self.operand!r})"
+
+
+# ----------------------------------------------------------------------
+# Construction helpers (the public expression-building vocabulary)
+# ----------------------------------------------------------------------
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column: ``col("S.suppkey")`` or bare ``col("suppkey")``."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Const:
+    """A literal constant."""
+    return Const(value)
+
+
+def and_(*operands: Expression) -> Expression:
+    """Conjunction of one or more predicates."""
+    if not operands:
+        raise SchemaError("and_() needs at least one operand")
+    if len(operands) == 1:
+        return operands[0]
+    return BoolOp("and", list(operands))
+
+
+def or_(*operands: Expression) -> Expression:
+    """Disjunction of one or more predicates."""
+    if not operands:
+        raise SchemaError("or_() needs at least one operand")
+    if len(operands) == 1:
+        return operands[0]
+    return BoolOp("or", list(operands))
+
+
+def not_(operand: Expression) -> Not:
+    """Negation of a predicate."""
+    return Not(operand)
+
+
+def resolve_column(name: str, layout: Mapping[str, int]) -> int:
+    """Resolve a possibly unqualified column name to a tuple position.
+
+    Qualified names must match exactly; bare names match any ``alias.name``
+    entry and must be unambiguous.
+    """
+    if name in layout:
+        return layout[name]
+    if "." not in name:
+        matches = [
+            pos for qualified, pos in layout.items()
+            if qualified.rpartition(".")[2] == name
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise SchemaError(f"ambiguous column {name!r} in layout {list(layout)}")
+    raise SchemaError(f"unknown column {name!r} in layout {list(layout)}")

@@ -1,0 +1,120 @@
+"""dbgen-compatible ``.tbl`` table import/export.
+
+TPC's ``dbgen`` emits one pipe-delimited ``<table>.tbl`` file per table,
+each line ending with a trailing ``|``::
+
+    1|Supplier#000000001|N kD4on9OM Ipw3,gf0JBoQDd7tgrzrddZ|17|27-918-335-1736|5755.94|each slyly above the careful|
+
+This module reads and writes that format against the engine's schemas, so
+the reproduction can exchange data with real dbgen output (load an
+externally generated TPC-R dataset) and snapshot its own tables to disk.
+
+Values are rendered by column type: ints and strings verbatim, floats with
+``repr``-round-tripping precision.  The format has no escaping: a ``|`` in
+a string column is rejected at export (dbgen never produces one).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.engine.database import Database
+from repro.engine.errors import ExecutionError, SchemaError
+from repro.engine.table import Table
+from repro.engine.types import ColumnType, Schema
+
+
+def dump_table(table: Table, path: str | Path) -> int:
+    """Write a table's live rows as a ``.tbl`` file; returns rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for row in table.live_rows():
+            handle.write(_render_row(row, table.schema))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_table(
+    db: Database,
+    name: str,
+    schema: Schema,
+    path: str | Path,
+) -> Table:
+    """Create table ``name`` in ``db`` and populate it from a ``.tbl`` file."""
+    path = Path(path)
+    table = db.create_table(name, schema)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                table.insert(_parse_row(line, schema))
+            except (SchemaError, ValueError) as exc:
+                raise ExecutionError(
+                    f"{path}:{line_no}: bad row: {exc}"
+                ) from exc
+    return table
+
+
+def dump_database(db: Database, directory: str | Path) -> dict[str, int]:
+    """Dump every table of ``db`` to ``<directory>/<table>.tbl``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return {
+        name: dump_table(table, directory / f"{name}.tbl")
+        for name, table in sorted(db.tables.items())
+    }
+
+
+def load_database(
+    db: Database,
+    directory: str | Path,
+    schemas: dict[str, Schema],
+) -> dict[str, int]:
+    """Load every ``<table>.tbl`` named in ``schemas`` from ``directory``."""
+    directory = Path(directory)
+    counts = {}
+    for name, schema in schemas.items():
+        table = load_table(db, name, schema, directory / f"{name}.tbl")
+        counts[name] = table.live_count
+    return counts
+
+
+def _render_row(row: Iterable, schema: Schema) -> str:
+    parts = []
+    for column, value in zip(schema.columns, row):
+        if column.type is ColumnType.STR:
+            if "|" in value:
+                raise ExecutionError(
+                    f"cannot export {value!r}: the .tbl format has no "
+                    f"escaping for '|'"
+                )
+            parts.append(value)
+        elif column.type is ColumnType.FLOAT:
+            parts.append(repr(value))
+        else:
+            parts.append(str(value))
+    return "|".join(parts) + "|"
+
+
+def _parse_row(line: str, schema: Schema) -> tuple:
+    if not line.endswith("|"):
+        raise ValueError("missing trailing '|'")
+    fields = line[:-1].split("|")
+    if len(fields) != schema.width:
+        raise ValueError(
+            f"{len(fields)} fields, schema has {schema.width} columns"
+        )
+    values = []
+    for column, text in zip(schema.columns, fields):
+        if column.type is ColumnType.INT:
+            values.append(int(text))
+        elif column.type is ColumnType.FLOAT:
+            values.append(float(text))
+        else:
+            values.append(text)
+    return tuple(values)

@@ -1,0 +1,126 @@
+"""Join operators: nested-loop, index-nested-loop, and hash join.
+
+The choice among these is the engine-level origin of the paper's central
+cost asymmetry:
+
+* :class:`IndexNestedLoopJoin` probes an index once per outer tuple --
+  cost roughly linear in the outer (delta) size with a small slope and no
+  setup.  This is the cheap ``R |x| dS`` path when ``R`` is indexed.
+* :class:`HashJoin` builds a hash table on one side and streams the other
+  -- a large setup cost (scanning and hashing the big side) that is then
+  amortized over the batch.  This is the expensive-but-batchable
+  ``dR |x| S`` path when ``S`` has no index: its cost curve has exactly
+  the ``b + a*k`` shape of Section 3.3.
+* :class:`NestedLoopJoin` is the quadratic fallback for non-equi predicates.
+
+All joins concatenate left and right tuples; layouts merge accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.errors import SchemaError
+from repro.engine.expr import Expression, resolve_column
+from repro.engine.operators import Operator, merged_layout
+from repro.engine.snapshot import Snapshot
+
+
+class NestedLoopJoin(Operator):
+    """Materialized inner, arbitrary join predicate; O(|L| * |R|) compares."""
+
+    def __init__(self, left: Operator, right: Operator, predicate: Expression | None):
+        self.left = left
+        self.counter = left.counter
+        self.layout = merged_layout(left.layout, right.layout)
+        self._predicate = (
+            predicate.compile(self.layout) if predicate is not None else None
+        )
+        self._inner = right.rows()
+
+    def __iter__(self) -> Iterator[tuple]:
+        pred = self._predicate
+        for lrow in self.left:
+            for rrow in self._inner:
+                self.counter.charge("compares")
+                row = lrow + rrow
+                if pred is None or pred(row):
+                    yield row
+
+
+class IndexNestedLoopJoin(Operator):
+    """For each outer tuple, probe an index on the inner snapshot.
+
+    ``left_column`` names the outer join key (qualified); ``right_column``
+    the inner key, which must have an index on ``snapshot``'s table.  Cost:
+    one index probe per outer tuple plus per-match tuple CPU.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        snapshot: Snapshot,
+        alias: str,
+        left_column: str,
+        right_column: str,
+    ):
+        if not snapshot.has_index(right_column):
+            raise SchemaError(
+                f"index-nested-loop join needs an index on "
+                f"{snapshot.name}.{right_column}"
+            )
+        self.left = left
+        self.counter = left.counter
+        self.snapshot = snapshot
+        self.alias = alias
+        right_layout = {
+            f"{alias}.{name}": pos
+            for pos, name in enumerate(snapshot.schema.names)
+        }
+        self.layout = merged_layout(left.layout, right_layout)
+        self._left_pos = resolve_column(left_column, left.layout)
+        self._right_column = right_column
+
+    def __iter__(self) -> Iterator[tuple]:
+        pos = self._left_pos
+        for lrow in self.left:
+            self.counter.charge("index_probes")
+            for rrow in self.snapshot.lookup(self._right_column, lrow[pos]):
+                self.counter.charge("tuple_cpu")
+                yield lrow + rrow
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the right side, stream the left.
+
+    Build cost is the dominant term when the right side is a big base
+    table: the whole table is scanned (page reads via the child scan) and
+    hashed (one ``hash_build`` per tuple) *before the first output row* --
+    the setup cost ``b`` of the paper's linear cost model.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_column: str,
+        right_column: str,
+    ):
+        self.left = left
+        self.counter = left.counter
+        self.layout = merged_layout(left.layout, right.layout)
+        self._left_pos = resolve_column(left_column, left.layout)
+        right_pos = resolve_column(right_column, right.layout)
+        self._table: dict = {}
+        for rrow in right:
+            self.counter.charge("hash_builds")
+            self._table.setdefault(rrow[right_pos], []).append(rrow)
+
+    def __iter__(self) -> Iterator[tuple]:
+        pos = self._left_pos
+        table = self._table
+        for lrow in self.left:
+            self.counter.charge("hash_probes")
+            for rrow in table.get(lrow[pos], ()):
+                self.counter.charge("tuple_cpu")
+                yield lrow + rrow

@@ -1,0 +1,150 @@
+"""Physical operators: scans, filters, projections.
+
+Operators follow a simple pull model: each exposes ``layout`` (a mapping
+from qualified column name to position in the tuples it produces) and is
+iterable.  Every operator charges its work to the shared
+:class:`~repro.engine.costmodel.OperationCounter`, which is how experiments
+observe maintenance cost.
+
+Joins and aggregation live in their own modules
+(:mod:`repro.engine.join`, :mod:`repro.engine.aggregate`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.engine.costmodel import OperationCounter
+from repro.engine.errors import SchemaError
+from repro.engine.expr import Expression, resolve_column
+from repro.engine.snapshot import Snapshot
+
+
+class Operator:
+    """Base class: an iterable of row tuples with a named layout."""
+
+    layout: Mapping[str, int]
+    counter: OperationCounter
+
+    def __iter__(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def rows(self) -> list[tuple]:
+        """Materialize the operator's full output."""
+        return list(self)
+
+
+class SeqScan(Operator):
+    """Full scan of a snapshot, tagging columns with an alias.
+
+    Charges one page read per :data:`~repro.engine.costmodel.ROWS_PER_PAGE`
+    visible rows plus per-tuple CPU -- the 'no index, read everything'
+    access path whose cost is what makes un-indexed delta processing
+    expensive in the paper's Figure 1.
+    """
+
+    def __init__(self, snapshot: Snapshot, alias: str, counter: OperationCounter):
+        self.snapshot = snapshot
+        self.alias = alias
+        self.counter = counter
+        self.layout = {
+            f"{alias}.{name}": pos
+            for pos, name in enumerate(snapshot.schema.names)
+        }
+
+    def __iter__(self) -> Iterator[tuple]:
+        self.counter.charge_pages(self.snapshot.count())
+        for row in self.snapshot.rows():
+            self.counter.charge("tuple_cpu")
+            yield row
+
+
+class RowSource(Operator):
+    """An in-memory relation (e.g. a delta batch) presented as an operator.
+
+    No page reads are charged: delta rows arrive already in memory, exactly
+    like the delta tables the paper appends modifications to.
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[tuple],
+        names: Sequence[str],
+        alias: str,
+        counter: OperationCounter,
+    ):
+        self._rows = list(rows)
+        self.alias = alias
+        self.counter = counter
+        self.layout = {f"{alias}.{n}": i for i, n in enumerate(names)}
+        if len(self.layout) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        width = len(names)
+        for i, row in enumerate(self._rows):
+            if len(row) != width:
+                raise SchemaError(
+                    f"substituted row {i} for {alias!r} has {len(row)} "
+                    f"values, expected {width}"
+                )
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self._rows:
+            self.counter.charge("tuple_cpu")
+            yield row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class Filter(Operator):
+    """Select rows satisfying a compiled predicate."""
+
+    def __init__(self, child: Operator, predicate: Expression):
+        self.child = child
+        self.counter = child.counter
+        self.layout = child.layout
+        self._fn = predicate.compile(child.layout)
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self.child:
+            self.counter.charge("compares")
+            if self._fn(row):
+                yield row
+
+
+class Project(Operator):
+    """Keep (and reorder) a subset of columns."""
+
+    def __init__(self, child: Operator, columns: Sequence[str]):
+        self.child = child
+        self.counter = child.counter
+        positions = [resolve_column(name, child.layout) for name in columns]
+        self._positions = positions
+        self.layout = {name: i for i, name in enumerate(columns)}
+        if len(self.layout) != len(columns):
+            raise SchemaError(f"duplicate projection columns in {columns}")
+
+    def __iter__(self) -> Iterator[tuple]:
+        positions = self._positions
+        for row in self.child:
+            self.counter.charge("tuple_cpu")
+            yield tuple(row[p] for p in positions)
+
+
+def merged_layout(
+    left: Mapping[str, int], right: Mapping[str, int]
+) -> dict[str, int]:
+    """Layout of a concatenated (left ++ right) row."""
+    overlap = set(left) & set(right)
+    if overlap:
+        raise SchemaError(f"join sides share qualified columns {sorted(overlap)}")
+    width = len(left)
+    out = dict(left)
+    for name, pos in right.items():
+        out[name] = width + pos
+    return out
+
+
+def materialize(source: Iterable[tuple]) -> list[tuple]:
+    """Pull an operator (or any iterable) fully into a list."""
+    return list(source)

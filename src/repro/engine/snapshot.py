@@ -1,0 +1,84 @@
+"""Point-in-time reads over versioned tables.
+
+A :class:`Snapshot` is a lightweight view of a table *as of* a particular
+LSN.  It does not copy data; it filters row versions by visibility.  All
+physical operators read through snapshots, which is what lets incremental
+view maintenance join a delta batch against base tables at exactly the
+state the view has incorporated (see :mod:`repro.engine.table` for why).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Hashable, Iterator
+
+if TYPE_CHECKING:  # circular import guard; Table imports Snapshot
+    from repro.engine.table import Table
+
+
+class Snapshot:
+    """A read-only view of ``table`` at modification LSN ``lsn``."""
+
+    def __init__(self, table: "Table", lsn: int):
+        self.table = table
+        self.lsn = lsn
+        self._count: int | None = None
+
+    @property
+    def schema(self):
+        """The underlying table's schema."""
+        return self.table.schema
+
+    @property
+    def name(self) -> str:
+        """The underlying table's name."""
+        return self.table.name
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate rows visible at this snapshot (no cost charged here;
+        operators charge scans)."""
+        for version in self.table._versions:
+            if version.visible_at(self.lsn):
+                yield version.values
+
+    def count(self) -> int:
+        """Number of visible rows (computed once, then cached)."""
+        if self._count is None:
+            self._count = sum(1 for __ in self.rows())
+        return self._count
+
+    def lookup(self, column: str, key: Hashable) -> list[tuple]:
+        """Visible rows with ``column == key`` via an index, if one exists.
+
+        Raises ``LookupError`` if no index covers ``column``; operators use
+        :meth:`has_index` to decide between index and scan access paths.
+        """
+        index = self.table.index_on(column)
+        if index is None:
+            raise LookupError(f"no index on {self.name}.{column}")
+        out = []
+        for rid in index.lookup(key):
+            version = self.table.version(rid)
+            if version.visible_at(self.lsn):
+                out.append(version.values)
+        return out
+
+    def has_index(self, column: str) -> bool:
+        """Whether an index-assisted lookup on ``column`` is available.
+
+        Indexes are version-aware (dead versions stay indexed and are
+        filtered by visibility), so index access works at any snapshot LSN.
+        """
+        return self.table.index_on(column) is not None
+
+    def column_position(self, column: str) -> int:
+        """Position of ``column`` in stored rows."""
+        return self.schema.position(column)
+
+    def column_values(self, column: str) -> Iterator[Any]:
+        """Iterate one column of the visible rows."""
+        pos = self.schema.position(column)
+        for row in self.rows():
+            yield row[pos]
+
+    def __repr__(self) -> str:
+        return f"Snapshot({self.name!r}, lsn={self.lsn})"

@@ -1,0 +1,301 @@
+"""MVCC-lite table storage.
+
+Every modification to a table gets a monotonically increasing **log
+sequence number** (LSN).  Row versions carry ``(xmin, xmax)``: the LSN that
+created them and the LSN that deleted them (``None`` while live).  A
+:class:`~repro.engine.snapshot.Snapshot` at LSN ``L`` sees exactly the rows
+with ``xmin <= L < xmax`` -- i.e. the table as of modification ``L``.
+
+Why a view-maintenance reproduction needs this: the paper applies new
+modifications to base tables *immediately* while the view lags behind.
+When a maintenance batch for ``dR_i`` finally runs, its join against the
+other base tables must see them at the state the view has already
+incorporated, not their current state; joining against the current state is
+the *state bug* of Colby et al. that the paper's footnote 1 mentions.
+Snapshots make the correct historical read a one-liner.
+
+Updates are recorded as delete-plus-insert under a single LSN, and every
+modification appends a :class:`ModEvent` to the table's history; delta
+tables in :mod:`repro.ivm.delta` are windows over this history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.engine.costmodel import OperationCounter
+from repro.engine.errors import ExecutionError, SchemaError
+from repro.engine.index import HashIndex, Index, SortedIndex
+from repro.engine.snapshot import Snapshot
+from repro.engine.types import Schema
+
+
+@dataclass
+class RowVersion:
+    """One stored version of a row."""
+
+    values: tuple
+    xmin: int
+    xmax: int | None = None
+
+    def visible_at(self, lsn: int) -> bool:
+        """Whether this version exists in the snapshot at ``lsn``."""
+        return self.xmin <= lsn and (self.xmax is None or self.xmax > lsn)
+
+
+@dataclass(frozen=True)
+class ModEvent:
+    """One logical modification, as seen by delta tables.
+
+    ``kind`` is ``"insert"``, ``"delete"``, or ``"update"``; ``old_values``
+    / ``new_values`` are the affected row's contents before/after (``None``
+    where not applicable).
+    """
+
+    lsn: int
+    kind: str
+    old_values: tuple | None
+    new_values: tuple | None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete", "update"):
+            raise ValueError(f"unknown modification kind {self.kind!r}")
+
+
+class Table:
+    """An append-only versioned heap with secondary indexes and a history."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        counter: OperationCounter | None = None,
+    ):
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid table name {name!r}")
+        self.name = name
+        self.schema = schema
+        self.counter = counter or OperationCounter()
+        self._versions: list[RowVersion] = []
+        self._live_count = 0
+        self._lsn = 0
+        self.history: list[ModEvent] = []
+        self.indexes: dict[str, Index] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def current_lsn(self) -> int:
+        """LSN of the latest modification (0 when pristine)."""
+        return self._lsn
+
+    @property
+    def live_count(self) -> int:
+        """Number of rows visible at the current LSN."""
+        return self._live_count
+
+    def version_count(self) -> int:
+        """Total stored versions, live and dead (storage footprint)."""
+        return len(self._versions)
+
+    def version(self, rid: int) -> RowVersion:
+        """The stored version at slot ``rid``."""
+        return self._versions[rid]
+
+    def live_rows(self) -> Iterator[tuple]:
+        """Iterate current row values (no cost charged; introspection only)."""
+        for v in self._versions:
+            if v.xmax is None:
+                yield v.values
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def create_index(self, column: str, kind: str = "hash", name: str | None = None) -> Index:
+        """Create (and backfill) a secondary index on ``column``."""
+        pos = self.schema.position(column)
+        index_name = name or f"{self.name}_{column}_{kind}"
+        if index_name in self.indexes:
+            raise SchemaError(f"index {index_name!r} already exists")
+        if kind == "hash":
+            index: Index = HashIndex(index_name, column)
+        elif kind == "sorted":
+            index = SortedIndex(index_name, column)
+        else:
+            raise SchemaError(f"unknown index kind {kind!r}")
+        # Backfill every version (not just live ones) so snapshots taken at
+        # any LSN can use the index.
+        for rid, v in enumerate(self._versions):
+            index.add(v.values[pos], rid)
+        self.counter.charge("index_maintains", len(self._versions))
+        self.indexes[index_name] = index
+        return index
+
+    def index_on(self, column: str) -> Index | None:
+        """Any index whose key is ``column`` (hash preferred), else None."""
+        hash_hit = None
+        sorted_hit = None
+        for index in self.indexes.values():
+            if index.column == column:
+                if isinstance(index, HashIndex):
+                    hash_hit = index
+                else:
+                    sorted_hit = index
+        # Explicit None test: indexes define __len__, so an *empty* hash
+        # index is falsy and `or` would wrongly skip it.
+        return hash_hit if hash_hit is not None else sorted_hit
+
+    # ------------------------------------------------------------------
+    # Modifications (each bumps the LSN and appends a ModEvent)
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> ModEvent:
+        """Insert one row; returns the logged event."""
+        row = self.schema.validate_row(values)
+        self._lsn += 1
+        rid = len(self._versions)
+        self._versions.append(RowVersion(values=row, xmin=self._lsn))
+        self._live_count += 1
+        self.counter.charge("row_writes")
+        for index in self.indexes.values():
+            pos = self.schema.position(index.column)
+            index.add(row[pos], rid)
+            self.counter.charge("index_maintains")
+        event = ModEvent(lsn=self._lsn, kind="insert", old_values=None, new_values=row)
+        self.history.append(event)
+        return event
+
+    def delete_rid(self, rid: int) -> ModEvent:
+        """Delete the live version at slot ``rid``."""
+        version = self._version_live(rid)
+        self._lsn += 1
+        version.xmax = self._lsn
+        self._live_count -= 1
+        self.counter.charge("row_writes")
+        # Indexes are version-aware: dead versions stay indexed and readers
+        # filter by snapshot visibility, so historical probes remain exact.
+        # Marking the tombstone still costs index maintenance work.
+        self.counter.charge("index_maintains", len(self.indexes))
+        event = ModEvent(
+            lsn=self._lsn, kind="delete", old_values=version.values, new_values=None
+        )
+        self.history.append(event)
+        return event
+
+    def update_rid(self, rid: int, changes: dict[str, Any]) -> ModEvent:
+        """Update columns of the live version at slot ``rid``.
+
+        Recorded as delete-plus-insert under one LSN, so snapshots see the
+        row atomically flip from old to new values.
+        """
+        if not changes:
+            raise ExecutionError("update with no changed columns")
+        version = self._version_live(rid)
+        new_values = list(version.values)
+        for column, value in changes.items():
+            pos = self.schema.position(column)
+            new_values[pos] = self.schema.columns[pos].type.validate(value)
+        self._lsn += 1
+        version.xmax = self._lsn
+        new_rid = len(self._versions)
+        new_row = tuple(new_values)
+        self._versions.append(RowVersion(values=new_row, xmin=self._lsn))
+        self.counter.charge("row_writes", 2)
+        for index in self.indexes.values():
+            pos = self.schema.position(index.column)
+            # Old version stays indexed (version-aware reads filter it);
+            # only the new version needs an entry.
+            index.add(new_row[pos], new_rid)
+            self.counter.charge("index_maintains", 2)
+        event = ModEvent(
+            lsn=self._lsn,
+            kind="update",
+            old_values=version.values,
+            new_values=new_row,
+        )
+        self.history.append(event)
+        return event
+
+    def find_rids(self, predicate: Callable[[tuple], bool]) -> list[int]:
+        """Row ids of live versions matching ``predicate`` (no cost charged)."""
+        return [
+            rid
+            for rid, v in enumerate(self._versions)
+            if v.xmax is None and predicate(v.values)
+        ]
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self, lsn: int | None = None) -> Snapshot:
+        """The table's state as of ``lsn`` (default: now)."""
+        at = self._lsn if lsn is None else lsn
+        if at < 0 or at > self._lsn:
+            raise ExecutionError(
+                f"snapshot LSN {at} outside [0, {self._lsn}] for {self.name}"
+            )
+        return Snapshot(self, at)
+
+    def events_between(self, lsn_from: int, lsn_to: int) -> list[ModEvent]:
+        """History events with ``lsn_from < lsn <= lsn_to`` (a delta window)."""
+        return [e for e in self.history if lsn_from < e.lsn <= lsn_to]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def vacuum(self, before_lsn: int | None = None) -> int:
+        """Reclaim dead row versions no snapshot at or after ``before_lsn``
+        can see; returns the number of versions removed.
+
+        Compaction **renumbers row ids** and rebuilds every index, so any
+        externally held rid (e.g. an update stream's victim list) becomes
+        invalid -- vacuum between workload phases, not during one.  History
+        is *not* trimmed: delta tables window over it by LSN, which this
+        operation does not disturb.  ``before_lsn`` defaults to the current
+        LSN (reclaim everything dead); pass the oldest LSN any live
+        snapshot or lagging view still reads to keep those readable.
+        """
+        watermark = self._lsn if before_lsn is None else before_lsn
+        if not 0 <= watermark <= self._lsn:
+            raise ExecutionError(
+                f"vacuum watermark {watermark} outside [0, {self._lsn}]"
+            )
+        survivors = [
+            v
+            for v in self._versions
+            if v.xmax is None or v.xmax > watermark
+        ]
+        reclaimed = len(self._versions) - len(survivors)
+        if reclaimed == 0:
+            return 0
+        self._versions = survivors
+        self.counter.charge("row_writes", len(survivors))
+        # Rebuild every index against the surviving versions.
+        for index_name, old_index in list(self.indexes.items()):
+            column = old_index.column
+            kind = "hash" if isinstance(old_index, HashIndex) else "sorted"
+            del self.indexes[index_name]
+            self.create_index(column, kind=kind, name=index_name)
+        return reclaimed
+
+    # ------------------------------------------------------------------
+
+    def _version_live(self, rid: int) -> RowVersion:
+        if not 0 <= rid < len(self._versions):
+            raise ExecutionError(f"row id {rid} out of range for {self.name}")
+        version = self._versions[rid]
+        if version.xmax is not None:
+            raise ExecutionError(f"row id {rid} in {self.name} is not live")
+        return version
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self._live_count}, "
+            f"lsn={self._lsn}, indexes={list(self.indexes)})"
+        )

@@ -1,0 +1,56 @@
+"""Experiment drivers: one module per paper figure/table, plus extensions.
+
+Each driver exposes a ``run_*`` function returning a result dataclass with
+the figure's data series and a ``format()`` method printing the same rows
+the paper plots.  The benchmarks in ``benchmarks/`` wrap these drivers;
+the mapping from paper artifact to driver is the per-experiment index in
+``DESIGN.md``.
+"""
+
+from repro.experiments.common import (
+    ExperimentSetup,
+    build_setup,
+    calibrated_costs,
+    paper_view_spec,
+)
+from repro.experiments.fig1_join_costs import run_fig1
+from repro.experiments.intro_example import run_intro_example
+from repro.experiments.fig4_maintenance_costs import run_fig4
+from repro.experiments.fig5_validation import run_fig5
+from repro.experiments.fig6_refresh_time import run_fig6
+from repro.experiments.fig7_nonuniform import run_fig7
+from repro.experiments.bounds_study import run_bounds_study
+from repro.experiments.ablations import (
+    run_astar_heuristic_ablation,
+    run_cost_family_study,
+    run_estimator_ablation,
+    run_plan_class_ablation,
+    run_replanning_study,
+)
+from repro.experiments.operator_asymmetry import run_operator_asymmetry
+from repro.experiments.online_bound_study import run_online_bound_study
+from repro.experiments.three_way import run_three_way
+from repro.experiments.concavity_study import run_concavity_study
+
+__all__ = [
+    "ExperimentSetup",
+    "build_setup",
+    "calibrated_costs",
+    "paper_view_spec",
+    "run_astar_heuristic_ablation",
+    "run_bounds_study",
+    "run_concavity_study",
+    "run_cost_family_study",
+    "run_estimator_ablation",
+    "run_fig1",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_intro_example",
+    "run_online_bound_study",
+    "run_replanning_study",
+    "run_operator_asymmetry",
+    "run_three_way",
+    "run_plan_class_ablation",
+]

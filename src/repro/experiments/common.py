@@ -1,0 +1,208 @@
+"""Shared experiment infrastructure: the paper's database, view, and costs.
+
+Every experiment starts from the same TPC-R setup (Section 5 of the paper):
+
+* tables Region, Nation, Supplier, PartSupp at a configurable scale factor
+  (the paper uses SF 1 -- PartSupp 800k, Supplier 10k rows; our pure-Python
+  engine defaults to SF 0.01 -- 8k / 100 rows -- preserving the 80:1 ratio
+  that drives the cost asymmetry);
+* physical design: Supplier, Nation, Region indexed on their keys;
+  PartSupp deliberately *not* indexed on ``suppkey``, so Supplier-delta
+  maintenance must scan/hash PartSupp (big setup cost) while
+  PartSupp-delta maintenance probes the Supplier index (cheap, linear);
+* the experiment view ``SELECT MIN(PS.supplycost) ... WHERE R.name =
+  'MIDDLE EAST'`` over the four-way join;
+* the two update streams: random ``supplycost`` updates on PartSupp and
+  random ``nationkey`` updates on Supplier.
+
+**Arrival-mix substitution (documented in DESIGN.md):** the paper's
+Figure 6 feeds one PartSupp and one Supplier update per second against
+cost functions measured on its DBMS.  Under our engine's cost model a
+single Supplier update costs ~50x a PartSupp update (the 80-row join
+fan-out), so a 1:1 mix would let the Supplier term dominate and flatten
+every policy to the same cost.  We instead draw modifications uniformly
+over the *rows* of the database -- 80 PartSupp : 1 Supplier per step,
+matching the tables' 80:1 size ratio -- which restores the paper's
+geometry: both delta tables consume comparable response-time budget per
+step, and asymmetric scheduling has something to exploit.  The scheduling
+problem is over ``n = 2`` tables (Nation and Region receive no updates,
+as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+from repro.core.costfuncs import CostFunction, LinearCost, TabulatedCost
+from repro.core.problem import ProblemInstance
+from repro.engine.database import Database
+from repro.engine.expr import col, lit
+from repro.engine.query import AggregateSpec, JoinSpec, QuerySpec
+from repro.ivm.calibration import CalibrationResult, measure_cost_function
+from repro.ivm.view import MaterializedView
+from repro.tpcr.gen import load_tpcr
+from repro.tpcr.updates import PartSuppCostUpdater, SupplierNationUpdater
+
+#: Default scale factor: 8,000 PartSupp rows, 100 Supplier rows.
+DEFAULT_SCALE = 0.01
+#: Default data-generation seed (dbgen's own default birthday seed).
+DEFAULT_SEED = 19721212
+#: Per-step arrival mix (PartSupp, Supplier): uniform over database rows.
+ARRIVAL_MIX: tuple[int, int] = (80, 1)
+#: The two scheduled aliases, in state-vector order.
+SCHEDULED_ALIASES: tuple[str, str] = ("PS", "S")
+
+
+def paper_view_spec() -> QuerySpec:
+    """The paper's experiment view (Section 5)."""
+    return QuerySpec(
+        base_alias="PS",
+        base_table="partsupp",
+        joins=(
+            JoinSpec("S", "supplier", "PS.suppkey", "suppkey"),
+            JoinSpec("N", "nation", "S.nationkey", "nationkey"),
+            JoinSpec("R", "region", "N.regionkey", "regionkey"),
+        ),
+        filters=(col("R.name") == lit("MIDDLE EAST"),),
+        aggregate=AggregateSpec(func="min", value=col("PS.supplycost")),
+    )
+
+
+def two_way_join_spec() -> QuerySpec:
+    """Figure 1's two-way join ``R |x| S`` as an SPJ view.
+
+    Paper's ``R`` (indexed on the join attribute) maps to our Supplier,
+    paper's ``S`` (not indexed) to our PartSupp: processing Supplier
+    deltas must scan PartSupp (expensive, batch-friendly), processing
+    PartSupp deltas probes the Supplier index (cheap, linear).
+    """
+    return QuerySpec(
+        base_alias="PS",
+        base_table="partsupp",
+        joins=(JoinSpec("S", "supplier", "PS.suppkey", "suppkey"),),
+        projection=("PS.partkey", "PS.suppkey", "PS.supplycost", "S.nationkey"),
+    )
+
+
+@dataclass
+class ExperimentSetup:
+    """A live database, view, and update streams for one experiment run."""
+
+    database: Database
+    view: MaterializedView
+    ps_updater: PartSuppCostUpdater
+    supplier_updater: SupplierNationUpdater
+    scale: float
+
+    def updater_for(self, alias: str):
+        """The update stream feeding scheduled alias ``alias``."""
+        if alias == "PS":
+            return self.ps_updater
+        if alias == "S":
+            return self.supplier_updater
+        raise KeyError(f"no update stream for alias {alias!r}")
+
+    def apply_arrivals(self, arrivals: Sequence[int]) -> None:
+        """Apply one step's modifications: ``(partsupp_count, supplier_count)``."""
+        ps_count, s_count = arrivals
+        self.ps_updater.apply(ps_count)
+        self.supplier_updater.apply(s_count)
+
+
+def build_setup(
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    update_seed: int = 7,
+    spec: QuerySpec | None = None,
+) -> ExperimentSetup:
+    """Build a fresh database + view + update streams.
+
+    A fresh setup per run keeps live experiments independent; use the same
+    ``update_seed`` to replay identical modification streams across plans
+    (Figure 5 needs this).
+    """
+    db = Database()
+    load_tpcr(db, scale=scale, seed=seed)
+    db.table("supplier").create_index("suppkey")
+    db.table("nation").create_index("nationkey")
+    db.table("region").create_index("regionkey")
+    view_spec = spec if spec is not None else paper_view_spec()
+    view = MaterializedView("paper_view", db, view_spec)
+    return ExperimentSetup(
+        database=db,
+        view=view,
+        ps_updater=PartSuppCostUpdater(db.table("partsupp"), seed=update_seed),
+        supplier_updater=SupplierNationUpdater(
+            db.table("supplier"), seed=update_seed + 1
+        ),
+        scale=scale,
+    )
+
+
+#: Calibration sweep used for the planner-facing cost functions.  Starts
+#: at k = 1: TabulatedCost interpolates linearly from (0, 0) to the first
+#: sample, so without a k = 1 anchor the model would understate the setup
+#: cost of tiny batches by ~the setup/first-sample ratio -- and optimal
+#: planners exploit exactly such fictions.
+CALIBRATION_BATCHES: tuple[int, ...] = (1, 2, 5, 10, 25, 50, 100, 200, 400)
+
+
+@lru_cache(maxsize=4)
+def calibrated_costs(
+    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED
+) -> tuple[CalibrationResult, CalibrationResult]:
+    """Measured ``(f_PS, f_S)`` cost curves for the paper view.
+
+    Cached per (scale, seed): calibration runs a few hundred live
+    maintenance batches, and its output is a pure value safe to share
+    across experiments (the scratch database it used is discarded).
+    """
+    setup = build_setup(scale=scale, seed=seed, update_seed=991)
+    cal_ps = measure_cost_function(
+        setup.view, "PS", CALIBRATION_BATCHES, setup.ps_updater
+    )
+    cal_s = measure_cost_function(
+        setup.view, "S", CALIBRATION_BATCHES, setup.supplier_updater
+    )
+    return cal_ps, cal_s
+
+
+def cost_functions(
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    form: str = "tabulated",
+) -> tuple[CostFunction, CostFunction]:
+    """The planner-facing ``(f_PS, f_S)``, tabulated or linear-fitted."""
+    cal_ps, cal_s = calibrated_costs(scale, seed)
+    if form == "tabulated":
+        return cal_ps.tabulated, cal_s.tabulated
+    if form == "linear":
+        return cal_ps.linear_fit, cal_s.linear_fit
+    raise ValueError(f"unknown cost-function form {form!r}")
+
+
+def make_problem(
+    arrivals: Sequence[Sequence[int]],
+    limit: float,
+    costs: tuple[CostFunction, CostFunction] | None = None,
+) -> ProblemInstance:
+    """A scheduling problem over (PartSupp, Supplier) with calibrated costs."""
+    if costs is None:
+        costs = cost_functions()
+    return ProblemInstance(costs, limit, arrivals)
+
+
+def default_limit(costs: tuple[CostFunction, CostFunction] | None = None) -> float:
+    """The Figure-6 response-time constraint, scaled to our cost model.
+
+    The paper uses C = 12 s against its measured curves; we choose C so a
+    Supplier batch has comparable head-room (~30 Supplier updates fit in
+    one constraint-sized batch, matching the order of batching the paper's
+    C afforded).
+    """
+    if costs is None:
+        costs = cost_functions()
+    __, f_s = costs
+    return f_s(30) * 1.15

@@ -1,0 +1,97 @@
+"""Figure 1: the two cost functions of a two-way join view.
+
+The paper's motivating figure plots, for a join ``R |x| S`` where ``R`` is
+indexed on the join attribute and ``S`` is not, the cost of processing a
+delta batch from each side as a function of batch size:
+
+* ``c_dR`` -- processing modifications to ``R`` requires joining them with
+  the *unindexed* ``S``: the whole table is scanned/hashed, so the curve
+  has a large setup component and is relatively flat afterwards
+  (batch-friendly);
+* ``c_dS`` -- processing modifications to ``S`` probes ``R``'s index once
+  per modification: roughly linear through the origin (batching gains
+  nothing).
+
+In our TPC-R instantiation the indexed table (paper's ``R``) is Supplier
+and the unindexed one (paper's ``S``) is PartSupp; the view is the plain
+join ``PartSupp |x| Supplier`` projected onto keys and supplycost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import common
+from repro.experiments.reporting import format_table
+from repro.ivm.calibration import CalibrationResult, measure_cost_function
+
+#: Batch sizes swept (the paper's x-axis runs 0..1000).
+DEFAULT_BATCHES: tuple[int, ...] = (10, 25, 50, 100, 200, 400, 700, 1000)
+
+
+@dataclass
+class Fig1Result:
+    """Measured cost curves for the two delta tables of ``R |x| S``."""
+
+    c_delta_r: CalibrationResult  # Supplier deltas (expensive side)
+    c_delta_s: CalibrationResult  # PartSupp deltas (cheap linear side)
+
+    def rows(self) -> list[tuple[int, float, float]]:
+        """``(batch_size, c_dR, c_dS)`` series."""
+        by_k_s = dict(self.c_delta_s.samples)
+        return [
+            (k, cost_r, by_k_s[k])
+            for k, cost_r in self.c_delta_r.samples
+            if k in by_k_s
+        ]
+
+    def setup_ratio(self) -> float:
+        """Fitted setup cost of ``c_dR`` over that of ``c_dS`` (>> 1 is
+        the asymmetry the paper exploits)."""
+        denominator = max(self.c_delta_s.linear_fit.setup, 1e-9)
+        return self.c_delta_r.linear_fit.setup / denominator
+
+    def format(self) -> str:
+        header = format_table(
+            "Figure 1: batch cost functions of R |x| S "
+            "(R=Supplier indexed, S=PartSupp unindexed)",
+            ["batch size k", "c_dR(k) ms", "c_dS(k) ms"],
+            self.rows(),
+        )
+        fits = format_table(
+            "Linear fits f(k) = a*k + b",
+            ["curve", "slope a", "setup b", "max rel fit err"],
+            [
+                (
+                    "c_dR (Supplier)",
+                    self.c_delta_r.linear_fit.slope,
+                    self.c_delta_r.linear_fit.setup,
+                    self.c_delta_r.max_relative_fit_error(),
+                ),
+                (
+                    "c_dS (PartSupp)",
+                    self.c_delta_s.linear_fit.slope,
+                    self.c_delta_s.linear_fit.setup,
+                    self.c_delta_s.max_relative_fit_error(),
+                ),
+            ],
+            precision=3,
+        )
+        return f"{header}\n\n{fits}"
+
+
+def run_fig1(
+    scale: float = common.DEFAULT_SCALE,
+    batches: tuple[int, ...] = DEFAULT_BATCHES,
+) -> Fig1Result:
+    """Measure both cost curves of the two-way join view."""
+    setup = common.build_setup(
+        scale=scale, update_seed=101, spec=common.two_way_join_spec()
+    )
+    c_delta_s = measure_cost_function(
+        setup.view, "PS", batches, setup.ps_updater
+    )
+    c_delta_r = measure_cost_function(
+        setup.view, "S", batches, setup.supplier_updater
+    )
+    return Fig1Result(c_delta_r=c_delta_r, c_delta_s=c_delta_s)

@@ -1,0 +1,112 @@
+"""Figure 6: total maintenance cost vs refresh time.
+
+The paper's headline comparison: refresh time varies from 100 to 1000
+(seconds there, steps here); a constant stream of modifications arrives at
+every step; the response-time constraint is fixed.  Four plans:
+
+* **NAIVE** -- the symmetric flush-everything baseline;
+* **OPT_LGM** -- the A* optimum, re-optimized for each refresh time;
+* **ADAPT** -- the optimal LGM plan for T0 = 500, adapted to each actual
+  refresh time per Section 4.2;
+* **ONLINE** -- the Section 4.3 heuristic with no advance knowledge.
+
+The paper's findings, which constitute the reproduced 'shape': NAIVE is
+clearly outperformed by all other approaches, and ADAPT and ONLINE both
+track OPT_LGM closely despite using less advance knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.adapt import adapt_plan
+from repro.core.astar import find_optimal_lgm_plan
+from repro.core.naive import NaivePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.simulator import simulate_policy
+from repro.experiments import common
+from repro.experiments.reporting import format_table
+from repro.workloads.arrivals import uniform_arrivals
+
+DEFAULT_REFRESH_TIMES: tuple[int, ...] = tuple(range(100, 1001, 100))
+ADAPT_BASE_HORIZON = 500
+
+
+@dataclass
+class Fig6Result:
+    """Total cost per plan for each refresh time."""
+
+    limit: float
+    refresh_times: tuple[int, ...]
+    naive: list[float]
+    opt_lgm: list[float]
+    adapt: list[float]
+    online: list[float]
+
+    def rows(self) -> list[tuple]:
+        return [
+            (t, n, o, a, ol)
+            for t, n, o, a, ol in zip(
+                self.refresh_times, self.naive, self.opt_lgm,
+                self.adapt, self.online,
+            )
+        ]
+
+    def worst_ratio_vs_opt(self, series: str) -> float:
+        """max over refresh times of series_cost / OPT_LGM cost."""
+        values = getattr(self, series)
+        return max(v / o for v, o in zip(values, self.opt_lgm))
+
+    def format(self) -> str:
+        table = format_table(
+            f"Figure 6: total maintenance cost vs refresh time "
+            f"(C = {self.limit:.0f} ms, arrivals "
+            f"{common.ARRIVAL_MIX[0]} PartSupp + {common.ARRIVAL_MIX[1]} "
+            f"Supplier per step)",
+            ["refresh T", "NAIVE", "OPT_LGM", f"ADAPT(T0={ADAPT_BASE_HORIZON})",
+             "ONLINE"],
+            self.rows(),
+            precision=0,
+        )
+        summary = format_table(
+            "Worst-case cost ratio vs OPT_LGM",
+            ["plan", "max ratio"],
+            [
+                ("NAIVE", self.worst_ratio_vs_opt("naive")),
+                ("ADAPT", self.worst_ratio_vs_opt("adapt")),
+                ("ONLINE", self.worst_ratio_vs_opt("online")),
+            ],
+            precision=3,
+        )
+        return f"{table}\n\n{summary}"
+
+
+def run_fig6(
+    scale: float = common.DEFAULT_SCALE,
+    refresh_times: tuple[int, ...] = DEFAULT_REFRESH_TIMES,
+    limit: float | None = None,
+) -> Fig6Result:
+    """Sweep the refresh time and compare the four plans."""
+    costs = common.cost_functions(scale=scale)
+    if limit is None:
+        limit = common.default_limit(costs)
+
+    naive, opt_lgm, adapt, online = [], [], [], []
+    for horizon in refresh_times:
+        arrivals = uniform_arrivals(common.ARRIVAL_MIX, horizon + 1)
+        problem = common.make_problem(arrivals, limit, costs)
+
+        naive.append(simulate_policy(problem, NaivePolicy()).total_cost)
+        opt_lgm.append(find_optimal_lgm_plan(problem).cost)
+        adapt_policy = adapt_plan(problem, ADAPT_BASE_HORIZON)
+        adapt.append(simulate_policy(problem, adapt_policy).total_cost)
+        online.append(simulate_policy(problem, OnlinePolicy()).total_cost)
+
+    return Fig6Result(
+        limit=limit,
+        refresh_times=tuple(refresh_times),
+        naive=naive,
+        opt_lgm=opt_lgm,
+        adapt=adapt,
+        online=online,
+    )

@@ -1,0 +1,146 @@
+"""The introduction's motivating example: symmetric vs asymmetric cost.
+
+Section 1 walks through ``R |x| S`` under a response-time constraint ``C``:
+
+* **symmetric**: batch both tables until the combined refresh cost reaches
+  ``C``, then flush everything.  The paper measures ~0.97 ms per
+  modification;
+* **asymmetric**: process every ``dS`` modification immediately (its cost
+  is linear through the origin, so batching gains nothing) and batch
+  ``dR`` until ``c_dR`` alone reaches ``C``.  The paper gets ~0.42 ms per
+  modification -- a ~2.3x improvement.
+
+We replay both the paper's back-of-envelope computation (on our measured
+Figure-1 curves) and a full simulation with the NAIVE and OPT_LGM
+policies, and report the improvement factor.  Absolute costs differ from
+the paper's (different system, simulated clock), and the arrival rates
+follow the uniform-over-rows mix documented in
+:mod:`repro.experiments.common` rather than the paper's simplifying 1:1
+assumption, so that -- as in the paper's setting -- both delta tables
+consume comparable response-time budget per step.  The reproduced quantity
+is the improvement *factor* of asymmetric over symmetric scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.astar import find_optimal_lgm_plan
+from repro.core.costfuncs import CostFunction
+from repro.core.naive import NaivePolicy
+from repro.core.problem import ProblemInstance
+from repro.core.simulator import simulate_policy
+from repro.experiments import common
+from repro.experiments.fig1_join_costs import run_fig1
+from repro.experiments.reporting import format_table
+from repro.workloads.arrivals import uniform_arrivals
+
+
+@dataclass
+class IntroExampleResult:
+    """Per-modification costs under the two strategies."""
+
+    limit: float
+    rates: tuple[int, int]  # (dS-side, dR-side) modifications per step
+    analytic_symmetric: float
+    analytic_asymmetric: float
+    simulated_naive: float
+    simulated_optimal: float
+
+    @property
+    def analytic_factor(self) -> float:
+        """Symmetric / asymmetric per-modification cost (paper: ~2.3x)."""
+        return self.analytic_symmetric / self.analytic_asymmetric
+
+    @property
+    def simulated_factor(self) -> float:
+        """NAIVE / OPT_LGM per-modification cost in full simulation."""
+        return self.simulated_naive / self.simulated_optimal
+
+    def format(self) -> str:
+        return format_table(
+            f"Intro example: per-modification maintenance cost "
+            f"(C = {self.limit:.1f} ms, rates dS:dR = "
+            f"{self.rates[0]}:{self.rates[1]})",
+            ["strategy", "ms per modification"],
+            [
+                ("symmetric (analytic)", self.analytic_symmetric),
+                ("asymmetric (analytic)", self.analytic_asymmetric),
+                ("NAIVE (simulated)", self.simulated_naive),
+                ("OPT_LGM (simulated)", self.simulated_optimal),
+                ("analytic improvement factor", self.analytic_factor),
+                ("simulated improvement factor", self.simulated_factor),
+            ],
+            precision=3,
+        )
+
+
+def _analytic_symmetric(
+    c_r: CostFunction, c_s: CostFunction, rates: tuple[int, int], limit: float
+) -> float:
+    """Per-modification cost of flush-everything-when-full.
+
+    With ``rates = (r_s, r_r)`` modifications per step, the state is full
+    after the first ``n`` steps with ``c_r(n*r_r) + c_s(n*r_s) > C``; the
+    flush then pays that combined cost for ``n * (r_r + r_s)``
+    modifications.
+    """
+    r_s, r_r = rates
+    n = 1
+    while c_r(n * r_r) + c_s(n * r_s) <= limit:
+        n += 1
+    total = c_r(n * r_r) + c_s(n * r_s)
+    return total / (n * (r_r + r_s))
+
+
+def _analytic_asymmetric(
+    c_r: CostFunction, c_s: CostFunction, rates: tuple[int, int], limit: float
+) -> float:
+    """Per-modification cost of eager-dS / batched-dR.
+
+    dS modifications are processed every step (one ``c_s(r_s)`` batch); dR
+    batches until ``c_dR`` alone exceeds ``C``.
+    """
+    r_s, r_r = rates
+    n = 1
+    while c_r(n * r_r) <= limit:
+        n += 1
+    per_step = c_r(n * r_r) / n + c_s(r_s)
+    return per_step / (r_r + r_s)
+
+
+def run_intro_example(
+    scale: float = common.DEFAULT_SCALE,
+    horizon: int = 400,
+    limit: float | None = None,
+    rates: tuple[int, int] | None = None,
+) -> IntroExampleResult:
+    """Reproduce the introduction's symmetric-vs-asymmetric comparison."""
+    fig1 = run_fig1(scale=scale)
+    c_r = fig1.c_delta_r.tabulated  # Supplier deltas: setup-heavy
+    c_s = fig1.c_delta_s.tabulated  # PartSupp deltas: linear through origin
+    if rates is None:
+        rates = common.ARRIVAL_MIX  # (dS side, dR side) = (PS, S)
+    if limit is None:
+        # Head-room comparable to the paper's C = 0.35 s (~600 dR tuples
+        # per constraint-sized batch there; ~85 Supplier updates here).
+        limit = c_r(85) * 1.0
+
+    analytic_sym = _analytic_symmetric(c_r, c_s, rates, limit)
+    analytic_asym = _analytic_asymmetric(c_r, c_s, rates, limit)
+
+    # Full simulation.  State vector order is (PS, S) = (dS side, dR side).
+    arrivals = uniform_arrivals(rates, horizon)
+    problem = ProblemInstance((c_s, c_r), limit, arrivals)
+    naive_trace = simulate_policy(problem, NaivePolicy())
+    optimal = find_optimal_lgm_plan(problem)
+    total_mods = sum(rates) * horizon
+
+    return IntroExampleResult(
+        limit=limit,
+        rates=rates,
+        analytic_symmetric=analytic_sym,
+        analytic_asymmetric=analytic_asym,
+        simulated_naive=naive_trace.total_cost / total_mods,
+        simulated_optimal=optimal.cost / total_mods,
+    )

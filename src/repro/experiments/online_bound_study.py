@@ -1,0 +1,162 @@
+"""Empirical cost bound for the ONLINE heuristic (future work, Section 7).
+
+The paper states: "we are interested in developing a cost bound for the
+online heuristic algorithm in Section 4.3" -- no bound is proven.  This
+study measures the empirical competitive ratio ``ONLINE / OPT_LGM`` over a
+randomized family of instances (cost shapes x arrival processes x
+constraint tightness) and reports its distribution and the worst instance
+found, together with the same statistic for NAIVE as a yardstick.
+
+A finding worth recording: on the *paper's* workloads (strong two-table
+asymmetry, binding constraint) ONLINE tracks OPT within a fraction of a
+percent (Figures 6/7), but on randomized instances with three tables,
+loose constraints, and haphazard asymmetries its empirical ratio reaches
+~1.5 -- the greedy amortized-cost measure ``H`` only looks ahead to the
+*next* forced action, and with several dissimilar tables that horizon can
+be too short.  NAIVE is sometimes near-optimal on the same instances
+(when setups are small, flushing everything loses little).  So the
+heuristic's excellent Figure-6/7 behaviour does not extend to a uniform
+constant-factor guarantee, which is presumably why the paper left the
+bound open.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.astar import find_optimal_lgm_plan
+from repro.core.costfuncs import BlockIOCost, ConcaveCost, LinearCost
+from repro.core.naive import NaivePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.problem import ProblemInstance
+from repro.core.simulator import simulate_policy
+from repro.experiments.reporting import format_table
+from repro.workloads.arrivals import (
+    StreamParams,
+    stochastic_arrivals,
+    uniform_arrivals,
+)
+
+
+@dataclass
+class OnlineBoundResult:
+    """Empirical competitive-ratio statistics per instance family."""
+
+    samples_per_family: int
+    rows_data: list[tuple[str, float, float, float, float]]
+    worst_ratio: float
+    worst_family: str
+
+    def rows(self) -> list[tuple]:
+        return self.rows_data
+
+    def format(self) -> str:
+        table = format_table(
+            f"Empirical ONLINE cost bound "
+            f"({self.samples_per_family} instances per family)",
+            ["family", "ONLINE/OPT mean", "ONLINE/OPT max",
+             "NAIVE/OPT mean", "NAIVE/OPT max"],
+            self.rows_data,
+            precision=3,
+        )
+        footer = (
+            f"worst ONLINE ratio observed: {self.worst_ratio:.3f} "
+            f"({self.worst_family})"
+        )
+        return f"{table}\n\n{footer}"
+
+
+def _random_instance(rng: random.Random, family: str) -> ProblemInstance:
+    n = rng.randint(1, 3)
+    costs = []
+    for __ in range(n):
+        if family.startswith("linear"):
+            costs.append(
+                LinearCost(
+                    slope=rng.uniform(0.2, 2.0),
+                    setup=rng.uniform(0.0, 60.0),
+                )
+            )
+        elif family.startswith("block"):
+            costs.append(
+                BlockIOCost(
+                    io_cost=rng.uniform(5.0, 40.0),
+                    block_size=rng.randint(4, 32),
+                    slope=rng.uniform(0.1, 1.0),
+                )
+            )
+        else:
+            costs.append(
+                ConcaveCost(
+                    coeff=rng.uniform(2.0, 15.0),
+                    exponent=rng.uniform(0.3, 0.9),
+                )
+            )
+    horizon = rng.randint(60, 160)
+    if family.endswith("bursty"):
+        params = StreamParams(p=0.7, mu=1.5, sigma=4.0)
+        arrivals = stochastic_arrivals(
+            (params,) * n, horizon + 1, seed=rng.randrange(1 << 30)
+        )
+    else:
+        arrivals = uniform_arrivals(
+            tuple(rng.randint(1, 3) for __ in range(n)), horizon + 1
+        )
+    # Constraint: enough head-room for a several-step batch per table.
+    per_step = sum(
+        f(max(1, a)) for f, a in zip(costs, arrivals[0])
+    )
+    limit = per_step * rng.uniform(2.0, 6.0) + max(
+        f(1) for f in costs
+    )
+    return ProblemInstance(costs, limit, arrivals)
+
+
+FAMILIES = (
+    "linear/uniform",
+    "linear/bursty",
+    "block-io/uniform",
+    "concave/uniform",
+    "concave/bursty",
+)
+
+
+def run_online_bound_study(
+    samples_per_family: int = 8, seed: int = 4242
+) -> OnlineBoundResult:
+    """Measure ONLINE's and NAIVE's empirical competitive ratios."""
+    rng = random.Random(seed)
+    rows = []
+    worst_ratio, worst_family = 0.0, ""
+    for family in FAMILIES:
+        online_ratios, naive_ratios = [], []
+        for __ in range(samples_per_family):
+            problem = _random_instance(rng, family)
+            opt = find_optimal_lgm_plan(problem).cost
+            if opt <= 0:
+                continue
+            online = simulate_policy(problem, OnlinePolicy()).total_cost
+            naive = simulate_policy(problem, NaivePolicy()).total_cost
+            online_ratios.append(online / opt)
+            naive_ratios.append(naive / opt)
+        if not online_ratios:
+            continue
+        family_worst = max(online_ratios)
+        if family_worst > worst_ratio:
+            worst_ratio, worst_family = family_worst, family
+        rows.append(
+            (
+                family,
+                sum(online_ratios) / len(online_ratios),
+                family_worst,
+                sum(naive_ratios) / len(naive_ratios),
+                max(naive_ratios),
+            )
+        )
+    return OnlineBoundResult(
+        samples_per_family=samples_per_family,
+        rows_data=rows,
+        worst_ratio=worst_ratio,
+        worst_family=worst_family,
+    )

@@ -1,0 +1,97 @@
+"""Delta tables: the unprocessed-modification queues of the paper.
+
+Each materialized view keeps one :class:`DeltaTable` per base table it
+reads.  Base-table modifications are applied to the base tables
+immediately (the paper's setting); the delta table records which of those
+modifications the *view* has not yet incorporated.
+
+Concretely a delta table is a FIFO window over the base table's
+modification history between two LSNs:
+
+* ``applied_lsn`` -- everything at or below this LSN is reflected in the
+  view's contents; maintenance joins read the base table's snapshot at
+  this LSN (state-bug safety);
+* ``seen_lsn`` -- the newest modification the delta table has pulled from
+  the base table's history.
+
+``size`` (the paper's ``s_t[i]`` component) is the number of events in
+between.  Taking a batch pops the ``k`` oldest events and advances
+``applied_lsn`` to the last popped event -- FIFO order, exactly the
+processing discipline Section 3's analysis assumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.engine.errors import ExecutionError
+from repro.engine.table import ModEvent, Table
+
+
+class DeltaTable:
+    """Pending modifications of one base table, from one view's perspective."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        #: LSN up to which the view has incorporated this table.
+        self.applied_lsn = table.current_lsn
+        #: LSN up to which events have been pulled into the queue.
+        self.seen_lsn = table.current_lsn
+        self._pending: deque[ModEvent] = deque()
+
+    @property
+    def size(self) -> int:
+        """Number of unprocessed modifications (``s_t[i]`` in the paper)."""
+        return len(self._pending)
+
+    def pull(self) -> int:
+        """Ingest new base-table modifications into the queue.
+
+        Returns the number of newly ingested events.  Call after base-table
+        modifications to keep the delta table current; the maintainer does
+        this at every time step.
+        """
+        events = self.table.events_between(self.seen_lsn, self.table.current_lsn)
+        for event in events:
+            self._pending.append(event)
+        if events:
+            self.seen_lsn = events[-1].lsn
+        return len(events)
+
+    def peek(self, k: int) -> list[ModEvent]:
+        """The ``k`` oldest pending events, without removing them."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return [self._pending[i] for i in range(min(k, len(self._pending)))]
+
+    def take(self, k: int) -> list[ModEvent]:
+        """Pop the ``k`` oldest events and advance ``applied_lsn``.
+
+        FIFO and contiguous: after taking, the view-incorporated snapshot
+        of this base table is exactly the state after the last taken event.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if k > len(self._pending):
+            raise ExecutionError(
+                f"cannot take {k} events; only {len(self._pending)} pending "
+                f"for {self.table.name}"
+            )
+        taken = [self._pending.popleft() for __ in range(k)]
+        if taken:
+            self.applied_lsn = taken[-1].lsn
+        elif not self._pending:
+            # Taking zero with an empty queue: the view is caught up with
+            # everything it has seen.
+            self.applied_lsn = self.seen_lsn
+        return taken
+
+    def take_all(self) -> list[ModEvent]:
+        """Pop every pending event (a full flush of this delta table)."""
+        return self.take(len(self._pending))
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaTable({self.table.name!r}, size={self.size}, "
+            f"applied_lsn={self.applied_lsn})"
+        )

@@ -1,0 +1,219 @@
+"""The view-maintenance runtime: policies driving a live view.
+
+:class:`ViewMaintainer` is the "actual system" of the paper's Figure 5
+validation experiment.  Where :func:`repro.core.simulator.simulate_policy`
+*computes* plan cost from calibrated cost functions, the maintainer
+*executes* the plan against the live engine and measures real (simulated-
+clock) cost per action.  Comparing the two is exactly the paper's
+simulation-validation methodology.
+
+Usage sketch::
+
+    maintainer = ViewMaintainer(view, cost_functions, limit=C, policy=OnlinePolicy())
+    for t, modifications in enumerate(stream):
+        apply_modifications_to_base_tables(modifications)
+        maintainer.step(t)          # pulls deltas, consults the policy, acts
+    maintainer.refresh(final=True)  # forced view refresh
+
+The maintainer enforces the response-time constraint with the *calibrated*
+cost functions (the planner's world model); the log records both the
+predicted cost of every action and the engine-measured actual cost, so
+their divergence is observable (Figure 5 plots it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.costfuncs import CostFunction
+from repro.core.policies import Policy, PolicyError
+from repro.ivm.maintenance import apply_batch, full_refresh
+from repro.ivm.view import MaterializedView
+
+
+@dataclass
+class StepRecord:
+    """What happened at one time step."""
+
+    t: int
+    arrivals: tuple[int, ...]
+    pre_state: tuple[int, ...]
+    action: tuple[int, ...]
+    predicted_cost: float
+    actual_cost_ms: float
+
+
+@dataclass
+class MaintenanceLog:
+    """The full run record: per-step entries plus summary statistics."""
+
+    aliases: tuple[str, ...]
+    steps: list[StepRecord] = field(default_factory=list)
+
+    @property
+    def total_predicted_cost(self) -> float:
+        """Sum of cost-function-predicted action costs (simulation view)."""
+        return sum(s.predicted_cost for s in self.steps)
+
+    @property
+    def total_actual_cost_ms(self) -> float:
+        """Sum of engine-measured action costs (live-system view)."""
+        return sum(s.actual_cost_ms for s in self.steps)
+
+    @property
+    def action_count(self) -> int:
+        """Number of steps with a non-zero action."""
+        return sum(1 for s in self.steps if any(s.action))
+
+    def actions_plan(self) -> list[tuple[int, ...]]:
+        """The executed action sequence (comparable to a core ``Plan``)."""
+        return [s.action for s in self.steps]
+
+
+class ViewMaintainer:
+    """Drives a live materialized view under a response-time constraint."""
+
+    def __init__(
+        self,
+        view: MaterializedView,
+        cost_functions: Sequence[CostFunction],
+        limit: float,
+        policy: Policy,
+        verify: bool = False,
+        scheduled_aliases: Sequence[str] | None = None,
+    ):
+        self.view = view
+        # The scheduling state vector covers only the tables that receive
+        # modifications (the paper's experiments schedule over PartSupp and
+        # Supplier; Nation and Region are static).  Unscheduled tables must
+        # stay modification-free, which _execute asserts.
+        self.aliases = (
+            tuple(scheduled_aliases)
+            if scheduled_aliases is not None
+            else view.spec.aliases
+        )
+        unknown = set(self.aliases) - set(view.spec.aliases)
+        if unknown:
+            raise ValueError(
+                f"scheduled aliases {sorted(unknown)} not in view "
+                f"{view.spec.aliases}"
+            )
+        if len(cost_functions) != len(self.aliases):
+            raise ValueError(
+                f"need one cost function per scheduled alias "
+                f"{self.aliases}, got {len(cost_functions)}"
+            )
+        self.cost_functions = tuple(cost_functions)
+        self.limit = float(limit)
+        self.policy = policy
+        self.verify = verify
+        self.policy.reset(self.cost_functions, self.limit)
+        self.log = MaintenanceLog(aliases=self.aliases)
+        self._clock = -1
+
+    # ------------------------------------------------------------------
+
+    def pre_state(self) -> tuple[int, ...]:
+        """Current per-alias pending counts (after a pull)."""
+        return tuple(self.view.deltas[a].size for a in self.aliases)
+
+    def predicted_refresh_cost(self, state: Sequence[int]) -> float:
+        """``f(s)`` under the calibrated cost functions."""
+        return sum(
+            f(k) for f, k in zip(self.cost_functions, state, strict=True)
+        )
+
+    def step(self, t: int | None = None) -> StepRecord:
+        """Run one time step: ingest new modifications, consult the policy.
+
+        Call after applying the step's base-table modifications.  Raises
+        :class:`~repro.core.policies.PolicyError` when the policy's action
+        leaves a full post-action state (constraint violation).
+        """
+        self._clock = self._clock + 1 if t is None else t
+        t = self._clock
+        arrivals = self._pull_all()
+        self.policy.observe(t, arrivals)
+        pre = self.pre_state()
+        action = tuple(int(x) for x in self.policy.decide(t, pre))
+        return self._execute(t, arrivals, pre, action)
+
+    def refresh(self, t: int | None = None) -> StepRecord:
+        """Force the view up to date (the paper's refresh request)."""
+        self._clock = self._clock + 1 if t is None else t
+        t = self._clock
+        arrivals = self._pull_all()
+        self.policy.observe(t, arrivals)
+        pre = self.pre_state()
+        return self._execute(t, arrivals, pre, pre, forced=True)
+
+    def _pull_all(self) -> tuple[int, ...]:
+        """Ingest new modifications on every base table; return the
+        scheduled-alias arrival counts."""
+        counts = {
+            alias: self.view.deltas[alias].pull()
+            for alias in self.view.spec.aliases
+        }
+        return tuple(counts[alias] for alias in self.aliases)
+
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self,
+        t: int,
+        arrivals: tuple[int, ...],
+        pre: tuple[int, ...],
+        action: tuple[int, ...],
+        forced: bool = False,
+    ) -> StepRecord:
+        for alias in self.view.spec.aliases:
+            if alias not in self.aliases and self.view.deltas[alias].size:
+                raise PolicyError(
+                    f"unscheduled base table {alias!r} received "
+                    f"modifications; add it to scheduled_aliases"
+                )
+        if any(a < 0 or a > s for a, s in zip(action, pre)):
+            raise PolicyError(
+                f"{self.policy!r} at t={t}: action {action} exceeds "
+                f"backlog {pre}"
+            )
+        post = tuple(s - a for s, a in zip(pre, action))
+        if not forced and self.predicted_refresh_cost(post) > self.limit + 1e-9:
+            raise PolicyError(
+                f"{self.policy!r} at t={t}: post-action state {post} "
+                f"violates C={self.limit}"
+            )
+        with self.view.database.counter.window() as window:
+            for alias, k in zip(self.aliases, action):
+                if k:
+                    apply_batch(self.view, alias, k)
+        predicted = self.predicted_refresh_cost(action)
+        self.policy.record_action(t, action, predicted)
+        record = StepRecord(
+            t=t,
+            arrivals=arrivals,
+            pre_state=pre,
+            action=action,
+            predicted_cost=predicted,
+            actual_cost_ms=window.elapsed_ms,
+        )
+        self.log.steps.append(record)
+        if self.verify:
+            self._verify_consistency()
+        return record
+
+    def _verify_consistency(self) -> None:
+        expected = self.view.recompute()
+        actual = self.view.contents()
+        if expected != actual:
+            raise AssertionError(
+                f"view {self.view.name!r} diverged from recomputation: "
+                f"expected {expected!r}, got {actual!r}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewMaintainer({self.view.name!r}, policy={self.policy!r}, "
+            f"C={self.limit})"
+        )

@@ -1,0 +1,210 @@
+"""Materialized views: SPJ multisets and aggregate states.
+
+A :class:`MaterializedView` couples a query definition with materialized
+contents and per-base-table delta tables.  Two content shapes:
+
+* **SPJ views** (no aggregate): contents are a multiset of result rows
+  (counted dict) -- duplicates matter for correct incremental maintenance
+  (Griffin & Libkin's counting approach);
+* **aggregate views**: contents are one
+  :class:`~repro.engine.aggregate.AggregateState` per group (a single
+  implicit group for scalar aggregates like the paper's MIN view).
+
+The view also owns the consistency bookkeeping: which base-table LSNs its
+contents reflect (via the delta tables), and a from-scratch
+:meth:`recompute` used by tests and by the paranoid ``verify`` mode of the
+maintainer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.engine.aggregate import AggregateState, make_aggregate_state
+from repro.engine.database import Database
+from repro.engine.errors import ExecutionError, SchemaError
+from repro.engine.expr import resolve_column
+from repro.engine.query import QuerySpec
+from repro.ivm.delta import DeltaTable
+
+
+class MaterializedView:
+    """A view over ``database`` maintained batch-incrementally."""
+
+    def __init__(self, name: str, database: Database, spec: QuerySpec):
+        self.name = name
+        self.database = database
+        self.spec = spec
+        #: one delta table per alias, keyed by alias
+        self.deltas: dict[str, DeltaTable] = {
+            alias: DeltaTable(database.table(spec.table_of(alias)))
+            for alias in spec.aliases
+        }
+        # Rebased query specs (delta alias as the driving table), built
+        # once -- maintenance uses these so a small delta batch drives the
+        # join and can exploit inner-table indexes.
+        self.rebased_specs: dict[str, QuerySpec] = {
+            alias: spec.rebased(alias) for alias in spec.aliases
+        }
+        self.is_aggregate = spec.aggregate is not None
+        self._rows: Counter | None = None
+        self._groups: dict[tuple, AggregateState] | None = None
+        self._initialize()
+
+    # ------------------------------------------------------------------
+    # Contents
+    # ------------------------------------------------------------------
+
+    def _initialize(self) -> None:
+        """Materialize from the current base-table state."""
+        if self.is_aggregate:
+            # Stream the un-aggregated join so the states carry exact
+            # multiset information (a finished aggregate value alone could
+            # not support incremental deletes).
+            self._groups = self._fold_from_scratch()
+            self._columns: tuple[str, ...] = ()
+        else:
+            result = self.database.execute(self.spec)
+            self._rows = Counter(result.rows)
+            # Canonical column order for SPJ contents: incremental batches
+            # arrive in *rebased* join order (and un-projected), so every
+            # derived row is reordered/projected to this layout before it
+            # touches the multiset.
+            self._columns = result.columns
+
+    def _fold_from_scratch(self) -> dict[tuple, AggregateState]:
+        """Build aggregate states by streaming the un-aggregated join."""
+        agg = self.spec.aggregate
+        assert agg is not None
+        flat_spec = QuerySpec(
+            base_alias=self.spec.base_alias,
+            base_table=self.spec.base_table,
+            joins=self.spec.joins,
+            filters=self.spec.filters,
+        )
+        result = self.database.execute(flat_spec)
+        layout = {name: i for i, name in enumerate(result.columns)}
+        value_fn = agg.value.compile(layout)
+        group_positions = [resolve_column(g, layout) for g in agg.group_by]
+        groups: dict[tuple, AggregateState] = {}
+        for row in result.rows:
+            key = tuple(row[p] for p in group_positions)
+            state = groups.get(key)
+            if state is None:
+                state = make_aggregate_state(agg.func, self.database.counter)
+                groups[key] = state
+            state.insert(value_fn(row))
+        return groups
+
+    def contents(self) -> dict:
+        """The current materialized contents.
+
+        SPJ views: ``{row_tuple: multiplicity}``.  Aggregate views:
+        ``{group_key_tuple: aggregate_value}``.
+        """
+        if self.is_aggregate:
+            assert self._groups is not None
+            return {k: s.result() for k, s in self._groups.items()}
+        assert self._rows is not None
+        return {row: count for row, count in self._rows.items() if count}
+
+    def scalar(self) -> Any:
+        """Value of a scalar aggregate view (None over empty input)."""
+        if not self.is_aggregate or self.spec.aggregate.group_by:
+            raise SchemaError(f"view {self.name!r} is not a scalar aggregate")
+        assert self._groups is not None
+        state = self._groups.get(())
+        return state.result() if state is not None else None
+
+    # ------------------------------------------------------------------
+    # Incremental application (called by repro.ivm.maintenance)
+    # ------------------------------------------------------------------
+
+    def apply_insert_rows(self, rows: list[tuple], layout: dict[str, int]) -> None:
+        """Fold freshly derived join-result rows into the contents."""
+        self._apply(rows, layout, sign=+1)
+
+    def apply_delete_rows(self, rows: list[tuple], layout: dict[str, int]) -> None:
+        """Remove derived join-result rows from the contents."""
+        self._apply(rows, layout, sign=-1)
+
+    def _apply(self, rows: list[tuple], layout: dict[str, int], sign: int) -> None:
+        if self.is_aggregate:
+            agg = self.spec.aggregate
+            assert agg is not None and self._groups is not None
+            value_fn = agg.value.compile(layout)
+            group_positions = [resolve_column(g, layout) for g in agg.group_by]
+            for row in rows:
+                key = tuple(row[p] for p in group_positions)
+                state = self._groups.get(key)
+                if state is None:
+                    if sign < 0:
+                        raise ExecutionError(
+                            f"view {self.name!r}: delete from absent group "
+                            f"{key!r}"
+                        )
+                    state = make_aggregate_state(
+                        agg.func, self.database.counter
+                    )
+                    self._groups[key] = state
+                value = value_fn(row)
+                if sign > 0:
+                    state.insert(value)
+                else:
+                    state.delete(value)
+                    if state.is_empty():
+                        del self._groups[key]
+        else:
+            assert self._rows is not None
+            # Reorder/project each derived row into the view's canonical
+            # column layout (incremental rows arrive in rebased join order).
+            positions = [resolve_column(c, layout) for c in self._columns]
+            canonical = [tuple(row[p] for p in positions) for row in rows]
+            if sign > 0:
+                self._rows.update(canonical)
+            else:
+                self._rows.subtract(canonical)
+                for row in canonical:
+                    if self._rows[row] < 0:
+                        raise ExecutionError(
+                            f"view {self.name!r}: negative multiplicity for "
+                            f"{row!r} -- delta propagation bug"
+                        )
+
+    # ------------------------------------------------------------------
+    # Consistency checks
+    # ------------------------------------------------------------------
+
+    def is_stale(self) -> bool:
+        """True when any delta table holds unprocessed modifications."""
+        return any(d.size for d in self.deltas.values())
+
+    def pending_sizes(self) -> dict[str, int]:
+        """Per-alias unprocessed modification counts (the state vector)."""
+        return {alias: d.size for alias, d in self.deltas.items()}
+
+    def recompute(self) -> dict:
+        """Contents recomputed from scratch at the view-incorporated LSNs.
+
+        Used by tests and the maintainer's ``verify`` mode: the
+        incrementally maintained contents must always equal this.
+        """
+        lsns = {alias: d.applied_lsn for alias, d in self.deltas.items()}
+        if self.is_aggregate:
+            result = self.database.execute(self.spec, snapshot_lsns=lsns)
+            out = {}
+            for row in result.rows:
+                key, value = row[:-1], row[-1]
+                if value is None:
+                    continue
+                out[key] = value
+            return out
+        result = self.database.execute(self.spec, snapshot_lsns=lsns)
+        counted = Counter(result.rows)
+        return dict(counted)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaterializedView({self.name!r}, pending={self.pending_sizes()})"
+        )

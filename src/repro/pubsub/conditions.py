@@ -1,0 +1,178 @@
+"""Notification conditions ("when I want it").
+
+Conditions are evaluated *without* refreshing the subscription's view:
+they may read the clock and the (always-current) base tables, but not the
+possibly stale view contents.  This mirrors the paper's examples:
+
+* "tell me the value of my investment portfolio **every hour**" --
+  :class:`EveryNSteps`;
+* "report total gasoline sales **if the oil price has changed by more than
+  10% since the last report**" -- :class:`ValueWatch` probing a base-table
+  value and comparing it against its value at the previous notification.
+
+Boolean combinations (:class:`AllOf`, :class:`AnyOf`) compose conditions.
+Conditions are stateful (they remember the last notification); the broker
+calls :meth:`NotificationCondition.notified` whenever it fires a
+notification for the owning subscription.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+from repro.engine.database import Database
+
+
+class NotificationCondition(ABC):
+    """Decides, each time step, whether a subscription must be refreshed."""
+
+    @abstractmethod
+    def should_notify(self, t: int, database: Database) -> bool:
+        """Whether the condition triggers at time ``t``."""
+
+    def notified(self, t: int, result: Any) -> None:
+        """Hook: the broker fired a notification at ``t`` with ``result``.
+
+        Stateful conditions (e.g. :class:`ValueWatch`) override this to
+        re-baseline.  Default: no state.
+        """
+
+
+class EveryNSteps(NotificationCondition):
+    """Trigger periodically: at ``phase``, ``phase + n``, ``phase + 2n``...
+
+    The paper's "every hour" subscription with a discrete clock.
+    """
+
+    def __init__(self, n: int, phase: int = 0):
+        if n < 1:
+            raise ValueError(f"period must be >= 1, got {n}")
+        self.n = n
+        self.phase = phase % n
+
+    def should_notify(self, t: int, database: Database) -> bool:
+        return t % self.n == self.phase
+
+    def __repr__(self) -> str:
+        return f"EveryNSteps({self.n}, phase={self.phase})"
+
+
+class ValueWatch(NotificationCondition):
+    """Trigger when a probed value drifts from its last-notified baseline.
+
+    ``probe(database)`` reads any scalar from the *base* tables (always
+    current, so no refresh is needed to evaluate the condition).  The
+    condition triggers when the probed value differs from the baseline by
+    more than ``relative`` (fractional) or ``absolute`` drift; the
+    baseline resets whenever the subscription notifies.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[Database], float],
+        relative: float | None = None,
+        absolute: float | None = None,
+    ):
+        if relative is None and absolute is None:
+            raise ValueError("need a relative or an absolute threshold")
+        if relative is not None and relative <= 0:
+            raise ValueError(f"relative threshold must be > 0, got {relative}")
+        if absolute is not None and absolute <= 0:
+            raise ValueError(f"absolute threshold must be > 0, got {absolute}")
+        self.probe = probe
+        self.relative = relative
+        self.absolute = absolute
+        self._baseline: float | None = None
+
+    def should_notify(self, t: int, database: Database) -> bool:
+        current = float(self.probe(database))
+        if self._baseline is None:
+            self._baseline = current
+            return False
+        drift = abs(current - self._baseline)
+        if self.absolute is not None and drift > self.absolute:
+            return True
+        if self.relative is not None:
+            scale = abs(self._baseline)
+            if scale == 0:
+                return drift > 0
+            if drift / scale > self.relative:
+                return True
+        return False
+
+    def notified(self, t: int, result: Any) -> None:
+        # Re-baseline at the probed value as of the notification.
+        self._baseline = None  # next should_notify() re-reads it
+
+    def __repr__(self) -> str:
+        return (
+            f"ValueWatch(relative={self.relative}, absolute={self.absolute})"
+        )
+
+
+class OnEveryChange(NotificationCondition):
+    """Trigger whenever any watched base table was modified this step.
+
+    The eager end of the spectrum: turns the subscription into an
+    immediately maintained view (useful as a baseline in experiments).
+    """
+
+    def __init__(self, tables: Sequence[str]):
+        if not tables:
+            raise ValueError("need at least one table to watch")
+        self.tables = tuple(tables)
+        self._last_lsns: dict[str, int] | None = None
+
+    def should_notify(self, t: int, database: Database) -> bool:
+        current = {
+            name: database.table(name).current_lsn for name in self.tables
+        }
+        changed = self._last_lsns is not None and current != self._last_lsns
+        self._last_lsns = current
+        return changed
+
+    def __repr__(self) -> str:
+        return f"OnEveryChange({list(self.tables)})"
+
+
+class AllOf(NotificationCondition):
+    """Conjunction: trigger when every sub-condition triggers."""
+
+    def __init__(self, *conditions: NotificationCondition):
+        if not conditions:
+            raise ValueError("AllOf needs at least one condition")
+        self.conditions = conditions
+
+    def should_notify(self, t: int, database: Database) -> bool:
+        # Evaluate all (no short-circuit): stateful conditions need to see
+        # every step to track their baselines.
+        results = [c.should_notify(t, database) for c in self.conditions]
+        return all(results)
+
+    def notified(self, t: int, result: Any) -> None:
+        for condition in self.conditions:
+            condition.notified(t, result)
+
+    def __repr__(self) -> str:
+        return f"AllOf({', '.join(map(repr, self.conditions))})"
+
+
+class AnyOf(NotificationCondition):
+    """Disjunction: trigger when any sub-condition triggers."""
+
+    def __init__(self, *conditions: NotificationCondition):
+        if not conditions:
+            raise ValueError("AnyOf needs at least one condition")
+        self.conditions = conditions
+
+    def should_notify(self, t: int, database: Database) -> bool:
+        results = [c.should_notify(t, database) for c in self.conditions]
+        return any(results)
+
+    def notified(self, t: int, result: Any) -> None:
+        for condition in self.conditions:
+            condition.notified(t, result)
+
+    def __repr__(self) -> str:
+        return f"AnyOf({', '.join(map(repr, self.conditions))})"

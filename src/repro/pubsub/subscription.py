@@ -1,0 +1,68 @@
+"""Subscriptions: content query + notification condition + QoS guarantee."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.costfuncs import CostFunction
+from repro.core.policies import Policy
+from repro.engine.query import QuerySpec
+from repro.pubsub.conditions import NotificationCondition
+
+
+@dataclass
+class Subscription:
+    """One subscriber's standing request.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a broker.
+    query:
+        The content query ("what I want"), any
+        :class:`~repro.engine.query.QuerySpec` the engine supports.
+    condition:
+        The notification condition ("when I want it").
+    policy:
+        The batch maintenance scheduling policy used between notifications
+        (NAIVE / ADAPT / ONLINE / a replayed plan).
+    cost_functions:
+        One calibrated cost function per *scheduled* base table of the
+        query (see ``scheduled_aliases``).
+    limit:
+        The response-time guarantee ``C``: any refresh triggered by the
+        condition must complete within this (cost-model) budget.  The
+        maintenance policy keeps the backlog small enough that this always
+        holds -- the paper's central constraint.
+    scheduled_aliases:
+        The query aliases whose base tables receive modifications (the
+        scheduling state vector).  Defaults to all aliases.
+    """
+
+    name: str
+    query: QuerySpec
+    condition: NotificationCondition
+    policy: Policy
+    cost_functions: Sequence[CostFunction]
+    limit: float
+    scheduled_aliases: tuple[str, ...] | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("subscription needs a name")
+        if self.limit <= 0:
+            raise ValueError(
+                f"response-time guarantee must be positive, got {self.limit}"
+            )
+        aliases = (
+            self.scheduled_aliases
+            if self.scheduled_aliases is not None
+            else self.query.aliases
+        )
+        if len(self.cost_functions) != len(aliases):
+            raise ValueError(
+                f"subscription {self.name!r}: need one cost function per "
+                f"scheduled alias {aliases}, got {len(self.cost_functions)}"
+            )

@@ -1,0 +1,49 @@
+"""A SQL front-end for the engine and the view-maintenance stack.
+
+Covers the query class the paper maintains -- select-project-join with
+conjunctive predicates and a single (optionally grouped) aggregate -- so
+views can be declared exactly as the paper writes them::
+
+    from repro.sql import parse_query
+
+    spec = parse_query('''
+        SELECT MIN(PS.supplycost)
+        FROM partsupp AS PS, supplier AS S, nation AS N, region AS R
+        WHERE S.suppkey = PS.suppkey
+          AND S.nationkey = N.nationkey
+          AND N.regionkey = R.regionkey
+          AND R.name = 'MIDDLE EAST'
+    ''')
+
+``parse_query`` returns a :class:`~repro.engine.query.QuerySpec`: equi-join
+predicates linking different aliases become the join chain (ordered by a
+breadth-first walk from the first FROM table), everything else becomes
+filters, and the select list becomes a projection or an aggregate.
+
+The dialect, precisely:
+
+* ``SELECT *``, ``SELECT cols...``, or ``SELECT agg(expr)`` with ``agg``
+  in MIN/MAX/SUM/COUNT/AVG (one aggregate, optional ``GROUP BY``);
+* ``FROM t [AS] a, ...`` (comma joins only -- the paper's own style);
+* ``WHERE`` with ``AND``/``OR``/``NOT``, comparisons ``= != <> < <= > >=``,
+  arithmetic ``+ - * /``, parentheses, numeric and ``'string'`` literals;
+* ``ORDER BY col [ASC|DESC], ...`` and ``LIMIT n`` on the final output.
+"""
+
+from repro.sql.errors import SqlError
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import SelectStatement, parse_select
+from repro.sql.translate import parse_query, to_query_spec
+from repro.sql.render import render_expression, render_query
+
+__all__ = [
+    "SelectStatement",
+    "SqlError",
+    "Token",
+    "parse_query",
+    "parse_select",
+    "render_expression",
+    "render_query",
+    "to_query_spec",
+    "tokenize",
+]

@@ -1,0 +1,284 @@
+"""Recursive-descent SQL parser.
+
+Parses the dialect documented in :mod:`repro.sql` into a
+:class:`SelectStatement`, reusing the engine's expression classes
+(:mod:`repro.engine.expr`) as the expression AST so no separate
+translation pass is needed for predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.expr import (
+    BinOp,
+    ColumnRef,
+    Comparison,
+    Const,
+    Expression,
+    and_,
+    not_,
+    or_,
+)
+from repro.sql.errors import SqlError
+from repro.sql.lexer import Token, tokenize
+
+AGGREGATE_KEYWORDS = ("MIN", "MAX", "SUM", "COUNT", "AVG")
+
+
+@dataclass
+class AggregateCall:
+    """``func(expr)`` in a select list."""
+
+    func: str
+    value: Expression
+
+
+@dataclass
+class SelectStatement:
+    """The parsed form of one SELECT statement."""
+
+    tables: list[tuple[str, str]]  # (table_name, alias)
+    projection: list[str] | None = None  # None means SELECT *
+    aggregate: AggregateCall | None = None
+    where: Expression | None = None
+    group_by: list[str] = field(default_factory=list)
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.current
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value or kind
+            raise SqlError(
+                f"expected {wanted}, found {token.value or 'end of input'!r}",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        if self.current.is_keyword(*words):
+            return self.advance()
+        return None
+
+    def fail(self, message: str) -> SqlError:
+        return SqlError(message, self.text, self.current.position)
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        self.expect("KEYWORD", "SELECT")
+        distinct = self.accept_keyword("DISTINCT") is not None
+        projection, aggregate = self._select_list()
+        if distinct and aggregate is not None:
+            raise self.fail("DISTINCT with an aggregate is not supported")
+        self.expect("KEYWORD", "FROM")
+        tables = self._table_list()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self._or_expr()
+        group_by: list[str] = []
+        if self.accept_keyword("GROUP"):
+            self.expect("KEYWORD", "BY")
+            group_by = self._name_list()
+        if group_by and aggregate is None:
+            raise self.fail("GROUP BY requires an aggregate in SELECT")
+        order_by: list[tuple[str, bool]] = []
+        if self.accept_keyword("ORDER"):
+            self.expect("KEYWORD", "BY")
+            order_by = self._order_list()
+        limit: int | None = None
+        if self.accept_keyword("LIMIT"):
+            token = self.expect("NUMBER")
+            if "." in token.value:
+                raise SqlError(
+                    "LIMIT takes an integer", self.text, token.position
+                )
+            limit = int(token.value)
+        self.expect("EOF")
+        return SelectStatement(
+            tables=tables,
+            projection=projection,
+            aggregate=aggregate,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _order_list(self) -> list[tuple[str, bool]]:
+        orders = [self._order_key()]
+        while self.current.kind == "COMMA":
+            self.advance()
+            orders.append(self._order_key())
+        return orders
+
+    def _order_key(self) -> tuple[str, bool]:
+        # Aggregate outputs are named after the function ("min", "count",
+        # ...), so an aggregate keyword is a legal ORDER BY key here.
+        if self.current.is_keyword(*AGGREGATE_KEYWORDS):
+            name = self.advance().value.lower()
+        else:
+            name = self.expect("NAME").value
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return name, descending
+
+    def _select_list(self) -> tuple[list[str] | None, AggregateCall | None]:
+        if self.current.kind == "STAR":
+            self.advance()
+            return None, None
+        if self.current.is_keyword(*AGGREGATE_KEYWORDS):
+            func = self.advance().value.lower()
+            self.expect("LPAREN")
+            if self.current.kind == "STAR":
+                if func != "count":
+                    raise self.fail(f"{func.upper()}(*) is not supported")
+                self.advance()
+                value: Expression = Const(1)
+            else:
+                value = self._add_expr()
+            self.expect("RPAREN")
+            return None, AggregateCall(func=func, value=value)
+        return self._name_list(), None
+
+    def _name_list(self) -> list[str]:
+        names = [self.expect("NAME").value]
+        while self.current.kind == "COMMA":
+            self.advance()
+            names.append(self.expect("NAME").value)
+        return names
+
+    def _table_list(self) -> list[tuple[str, str]]:
+        tables = [self._table_ref()]
+        while self.current.kind == "COMMA":
+            self.advance()
+            tables.append(self._table_ref())
+        seen = set()
+        for __, alias in tables:
+            if alias in seen:
+                raise self.fail(f"duplicate table alias {alias!r}")
+            seen.add(alias)
+        return tables
+
+    def _table_ref(self) -> tuple[str, str]:
+        name_token = self.expect("NAME")
+        if "." in name_token.value:
+            raise SqlError(
+                "table names cannot be qualified",
+                self.text,
+                name_token.position,
+            )
+        alias = name_token.value
+        if self.accept_keyword("AS"):
+            alias = self._bare_name()
+        elif self.current.kind == "NAME" and "." not in self.current.value:
+            alias = self.advance().value
+        return name_token.value, alias
+
+    def _bare_name(self) -> str:
+        token = self.expect("NAME")
+        if "." in token.value:
+            raise SqlError(
+                "expected a bare alias name", self.text, token.position
+            )
+        return token.value
+
+    # -- expressions -------------------------------------------------------
+
+    def _or_expr(self) -> Expression:
+        operands = [self._and_expr()]
+        while self.accept_keyword("OR"):
+            operands.append(self._and_expr())
+        return or_(*operands)
+
+    def _and_expr(self) -> Expression:
+        operands = [self._not_expr()]
+        while self.accept_keyword("AND"):
+            operands.append(self._not_expr())
+        return and_(*operands)
+
+    def _not_expr(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return not_(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._add_expr()
+        if self.current.kind == "OP" and self.current.value in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            op = self.advance().value
+            if op == "<>":
+                op = "!="
+            right = self._add_expr()
+            return Comparison(op, left, right)
+        return left
+
+    def _add_expr(self) -> Expression:
+        left = self._mul_expr()
+        while self.current.kind == "OP" and self.current.value in ("+", "-"):
+            op = self.advance().value
+            left = BinOp(op, left, self._mul_expr())
+        return left
+
+    def _mul_expr(self) -> Expression:
+        left = self._primary()
+        while (
+            self.current.kind == "STAR"
+            or (self.current.kind == "OP" and self.current.value == "/")
+        ):
+            op = "*" if self.current.kind == "STAR" else "/"
+            self.advance()
+            left = BinOp(op, left, self._primary())
+        return left
+
+    def _primary(self) -> Expression:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Const(value)
+        if token.kind == "STRING":
+            self.advance()
+            return Const(token.value[1:-1].replace("''", "'"))
+        if token.kind == "NAME":
+            self.advance()
+            return ColumnRef(token.value)
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self._or_expr()
+            self.expect("RPAREN")
+            return inner
+        raise self.fail(
+            f"expected an expression, found {token.value or 'end of input'!r}"
+        )
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse one SELECT statement; raises :class:`SqlError` on bad input."""
+    return _Parser(text).parse()

@@ -1,0 +1,105 @@
+"""Rendering a :class:`QuerySpec` back to SQL text.
+
+The inverse of :func:`repro.sql.parse_query`.  Round-tripping is used by
+the property tests (``parse(render(spec))`` must execute identically to
+``spec``) and is handy for logging: a rebased maintenance query can be
+printed as the SQL a DBA would recognize.
+
+Rendering normalizes rather than preserving formatting: predicates print
+in the expression layer's canonical parenthesized form, join predicates
+come out of the join chain (not the original WHERE order), and aliases are
+always explicit via ``AS``.
+"""
+
+from __future__ import annotations
+
+from repro.engine.expr import (
+    BinOp,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Const,
+    Expression,
+    Not,
+)
+from repro.engine.query import QuerySpec
+
+
+def render_query(spec: QuerySpec) -> str:
+    """SQL text that parses back to an equivalent query."""
+    parts = ["SELECT"]
+    if spec.distinct:
+        parts.append("DISTINCT")
+    if spec.aggregate is not None:
+        parts.append(
+            f"{spec.aggregate.func.upper()}"
+            f"({render_expression(spec.aggregate.value)})"
+        )
+    elif spec.projection is not None:
+        parts.append(", ".join(spec.projection))
+    else:
+        parts.append("*")
+
+    tables = [f"{spec.base_table} AS {spec.base_alias}"] + [
+        f"{j.table} AS {j.alias}" for j in spec.joins
+    ]
+    parts.append("FROM " + ", ".join(tables))
+
+    predicates = [
+        f"{j.left_column} = {j.alias}.{j.right_column}" for j in spec.joins
+    ] + [render_expression(f) for f in spec.filters]
+    if predicates:
+        parts.append("WHERE " + " AND ".join(predicates))
+
+    if spec.aggregate is not None and spec.aggregate.group_by:
+        parts.append("GROUP BY " + ", ".join(spec.aggregate.group_by))
+    if spec.order_by:
+        keys = ", ".join(
+            f"{o.column} {'DESC' if o.descending else 'ASC'}"
+            for o in spec.order_by
+        )
+        parts.append("ORDER BY " + keys)
+    if spec.limit is not None:
+        parts.append(f"LIMIT {spec.limit}")
+    return " ".join(parts)
+
+
+def render_expression(expr: Expression) -> str:
+    """Canonical SQL text for one expression tree."""
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, Const):
+        return render_literal(expr.value)
+    if isinstance(expr, Comparison):
+        return (
+            f"({render_expression(expr.left)} {expr.op} "
+            f"{render_expression(expr.right)})"
+        )
+    if isinstance(expr, BinOp):
+        return (
+            f"({render_expression(expr.left)} {expr.op} "
+            f"{render_expression(expr.right)})"
+        )
+    if isinstance(expr, BoolOp):
+        joiner = f" {expr.op.upper()} "
+        return "(" + joiner.join(render_expression(e) for e in expr.operands) + ")"
+    if isinstance(expr, Not):
+        return f"(NOT {render_expression(expr.operand)})"
+    raise TypeError(f"cannot render expression type {type(expr).__name__}")
+
+
+def render_literal(value) -> str:
+    """A SQL literal for a Python value."""
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, bool):
+        raise TypeError("the dialect has no boolean literals")
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and (value != value or value in
+                                         (float("inf"), float("-inf"))):
+            raise TypeError(f"cannot render non-finite float {value!r}")
+        if isinstance(value, (int, float)) and value < 0:
+            # The grammar has no unary minus; render as (0 - x).
+            return f"(0 - {abs(value)})"
+        return repr(value)
+    raise TypeError(f"cannot render literal of type {type(value).__name__}")

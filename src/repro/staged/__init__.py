@@ -1,0 +1,50 @@
+"""Operator-level asymmetric batching (the paper's future-work Section 7).
+
+    "In the query plan representing a maintenance query, different
+    operators may be more or less amenable to batch processing.
+    Propagating modifications through some operators while batching them
+    in front of others may lead to further savings in total maintenance
+    cost."
+
+This subpackage implements that idea.  A maintenance query is modeled as a
+:class:`~repro.staged.model.Pipeline` of operators; each
+:class:`~repro.staged.model.Stage` has its own batch cost function (a join
+probing an index: linear, nothing to gain from batching; a join scanning a
+big table: setup-heavy, batch-friendly) and a fan-out factor (how many
+output tuples one input produces).  Modifications queue *in front of any
+stage*, not just at the pipeline entrance, and the refresh-time constraint
+applies to the cost of flushing everything through the remaining suffix.
+
+The scheduling question becomes *where to hold the batches*:
+
+* :class:`~repro.staged.policies.NaiveStagedPolicy` holds everything at
+  the entrance and flushes the whole pipeline when full -- the
+  whole-query analogue of the paper's NAIVE;
+* :class:`~repro.staged.policies.CutPolicy` eagerly propagates
+  modifications through a prefix of cheap operators every step and
+  batches in front of the first batch-friendly one;
+* :func:`~repro.staged.policies.choose_best_cut` searches the cut
+  positions by simulation.
+
+``repro.experiments.operator_asymmetry`` quantifies the savings.
+"""
+
+from repro.staged.model import Pipeline, Stage
+from repro.staged.policies import (
+    CutPolicy,
+    NaiveStagedPolicy,
+    StagedPolicy,
+    choose_best_cut,
+)
+from repro.staged.simulator import StagedTrace, simulate_staged
+
+__all__ = [
+    "CutPolicy",
+    "NaiveStagedPolicy",
+    "Pipeline",
+    "Stage",
+    "StagedPolicy",
+    "StagedTrace",
+    "choose_best_cut",
+    "simulate_staged",
+]

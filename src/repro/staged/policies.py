@@ -1,0 +1,108 @@
+"""Scheduling policies over maintenance pipelines.
+
+A staged policy decides, each time step, a *propagation depth* per
+opportunity: flush the first ``c`` queues through their stages (outputs
+pile up in queue ``c``), or do nothing.  When the pre-action state is full
+(flushing everything would exceed ``C``), the policy must act so the
+post-action state is refreshable within the budget; the simulator enforces
+this exactly like :mod:`repro.core.simulator` does for the table-level
+problem.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.staged.model import Pipeline
+
+_EPS = 1e-9
+
+
+class StagedPolicy(ABC):
+    """Base class for pipeline scheduling policies."""
+
+    def reset(self, pipeline: Pipeline, limit: float) -> None:
+        """Bind to the instance (called by the simulator before t = 0)."""
+        self.pipeline = pipeline
+        self.limit = float(limit)
+
+    def is_full(self, state) -> bool:
+        """Whether ``state``'s flush cost exceeds the constraint."""
+        return self.pipeline.flush_cost(state) > self.limit + _EPS
+
+    @abstractmethod
+    def decide(self, t: int, state: tuple[int, ...]) -> int:
+        """Propagation depth for this step: flush queues ``0..depth-1``
+        through their stages (0 = do nothing, ``pipeline.depth`` = full
+        flush to the view)."""
+
+
+class NaiveStagedPolicy(StagedPolicy):
+    """Whole-pipeline batching: flush everything only when forced.
+
+    The single-table NAIVE baseline lifted to pipelines: all modifications
+    wait at the entrance, and a violation triggers a complete flush.
+    """
+
+    def decide(self, t: int, state: tuple[int, ...]) -> int:
+        if self.is_full(state):
+            return self.pipeline.depth
+        return 0
+
+    def __repr__(self) -> str:
+        return "NaiveStagedPolicy()"
+
+
+class CutPolicy(StagedPolicy):
+    """Eagerly propagate through a prefix; batch at the cut.
+
+    Every step, queues ``0..cut-1`` are pushed through their (cheap,
+    linear) stages so tuples accumulate in front of stage ``cut`` -- the
+    batch-friendly operator.  When the state still becomes full, the whole
+    pipeline is flushed.  ``cut = 0`` degenerates to
+    :class:`NaiveStagedPolicy`.
+    """
+
+    def __init__(self, cut: int):
+        if cut < 0:
+            raise ValueError(f"cut must be >= 0, got {cut}")
+        self.cut = cut
+
+    def reset(self, pipeline: Pipeline, limit: float) -> None:
+        super().reset(pipeline, limit)
+        if self.cut > pipeline.depth:
+            raise ValueError(
+                f"cut {self.cut} deeper than pipeline ({pipeline.depth})"
+            )
+
+    def decide(self, t: int, state: tuple[int, ...]) -> int:
+        if self.is_full(state):
+            return self.pipeline.depth
+        if self.cut and any(state[: self.cut]):
+            return self.cut
+        return 0
+
+    def __repr__(self) -> str:
+        return f"CutPolicy(cut={self.cut})"
+
+
+def choose_best_cut(
+    pipeline: Pipeline,
+    limit: float,
+    arrivals,
+) -> tuple[int, float]:
+    """Pick the cut position with the lowest simulated total cost.
+
+    Simulates :class:`CutPolicy` for every cut in ``0..depth`` over the
+    given arrival sequence and returns ``(best_cut, best_cost)``.  This is
+    the simple planner the paper's future-work remark suggests: the search
+    space is just the pipeline depth.
+    """
+    from repro.staged.simulator import simulate_staged
+
+    best_cut, best_cost = 0, float("inf")
+    for cut in range(pipeline.depth + 1):
+        trace = simulate_staged(pipeline, limit, arrivals, CutPolicy(cut))
+        if trace.total_cost < best_cost - _EPS:
+            best_cut, best_cost = cut, trace.total_cost
+    return best_cut, best_cost

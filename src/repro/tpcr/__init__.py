@@ -1,0 +1,32 @@
+"""A dbgen-style TPC-R data generator and the paper's update streams.
+
+TPC-R shares its schema and population rules with TPC-H; the paper's
+experiments use its PartSupp / Supplier / Nation / Region tables.  This
+subpackage generates all eight benchmark tables deterministically from a
+seed, at any scale factor (row counts scale linearly, preserving the
+PartSupp : Supplier = 80 : 1 ratio the paper's cost asymmetry rests on),
+and provides the two update streams of Section 5:
+
+* random updates to ``PartSupp.supplycost``,
+* random updates to ``Supplier.nationkey``.
+"""
+
+from repro.tpcr.schema import TPCR_SCHEMAS, table_cardinality
+from repro.tpcr.gen import TpcrGenerator, load_tpcr
+from repro.tpcr.updates import (
+    NationRegionUpdater,
+    PartSuppCostUpdater,
+    SupplierNationUpdater,
+    TableUpdater,
+)
+
+__all__ = [
+    "NationRegionUpdater",
+    "PartSuppCostUpdater",
+    "SupplierNationUpdater",
+    "TableUpdater",
+    "TPCR_SCHEMAS",
+    "TpcrGenerator",
+    "load_tpcr",
+    "table_cardinality",
+]

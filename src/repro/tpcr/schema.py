@@ -1,0 +1,77 @@
+"""TPC-R table schemas and cardinality rules.
+
+Column sets follow the TPC-R (equivalently TPC-H) specification; money
+columns are floats (the engine has no DECIMAL type and nothing in the
+experiments depends on exact decimal arithmetic), dates are ``YYYY-MM-DD``
+strings so they sort correctly.
+"""
+
+from __future__ import annotations
+
+from repro.engine.types import ColumnType, Schema
+
+_I = ColumnType.INT
+_F = ColumnType.FLOAT
+_S = ColumnType.STR
+
+#: Schemas keyed by lowercase table name.
+TPCR_SCHEMAS: dict[str, Schema] = {
+    "region": Schema.of(regionkey=_I, name=_S, comment=_S),
+    "nation": Schema.of(nationkey=_I, name=_S, regionkey=_I, comment=_S),
+    "supplier": Schema.of(
+        suppkey=_I, name=_S, address=_S, nationkey=_I, phone=_S,
+        acctbal=_F, comment=_S,
+    ),
+    "part": Schema.of(
+        partkey=_I, name=_S, mfgr=_S, brand=_S, type=_S, size=_I,
+        container=_S, retailprice=_F, comment=_S,
+    ),
+    "partsupp": Schema.of(
+        partkey=_I, suppkey=_I, availqty=_I, supplycost=_F, comment=_S,
+    ),
+    "customer": Schema.of(
+        custkey=_I, name=_S, address=_S, nationkey=_I, phone=_S,
+        acctbal=_F, mktsegment=_S, comment=_S,
+    ),
+    "orders": Schema.of(
+        orderkey=_I, custkey=_I, orderstatus=_S, totalprice=_F,
+        orderdate=_S, orderpriority=_S, clerk=_S, shippriority=_I,
+        comment=_S,
+    ),
+    "lineitem": Schema.of(
+        orderkey=_I, partkey=_I, suppkey=_I, linenumber=_I, quantity=_F,
+        extendedprice=_F, discount=_F, tax=_F, returnflag=_S, linestatus=_S,
+        shipdate=_S, commitdate=_S, receiptdate=_S, shipinstruct=_S,
+        shipmode=_S, comment=_S,
+    ),
+}
+
+#: Base cardinalities at scale factor 1 (region/nation are fixed-size).
+_BASE_CARDINALITIES: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "part": 200_000,
+    "partsupp": 800_000,  # 4 suppliers per part
+    "customer": 150_000,
+    "orders": 1_500_000,
+    # lineitem cardinality is stochastic (1-7 lines per order); the
+    # generator draws it, so no fixed entry here.
+}
+
+
+def table_cardinality(table: str, scale: float) -> int:
+    """Row count of ``table`` at scale factor ``scale``.
+
+    Region and nation are fixed regardless of scale, per the spec.
+    """
+    if table not in TPCR_SCHEMAS:
+        raise KeyError(f"unknown TPC-R table {table!r}")
+    if table == "lineitem":
+        raise KeyError("lineitem cardinality is stochastic; generate orders")
+    base = _BASE_CARDINALITIES[table]
+    if table in ("region", "nation"):
+        return base
+    if scale <= 0:
+        raise ValueError(f"scale factor must be positive, got {scale}")
+    return max(1, round(base * scale))

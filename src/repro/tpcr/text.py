@@ -1,0 +1,145 @@
+"""Text generation for TPC-R columns.
+
+dbgen builds its strings (supplier names, addresses, comments, phone
+numbers) from fixed grammars and word pools.  We reproduce the observable
+structure -- formats, lengths, country-code arithmetic -- from compact
+seeded pools rather than shipping dbgen's full dictionaries; nothing in the
+paper's experiments reads the prose, but realistic row widths keep the
+page-count cost model honest.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: The five TPC-R regions, in regionkey order.
+REGIONS: tuple[str, ...] = (
+    "AFRICA",
+    "AMERICA",
+    "ASIA",
+    "EUROPE",
+    "MIDDLE EAST",
+)
+
+#: The 25 TPC-R nations as ``(name, regionkey)`` in nationkey order.
+NATIONS: tuple[tuple[str, int], ...] = (
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+)
+
+#: Word pool for comment text (a condensed version of dbgen's grammar).
+_COMMENT_WORDS: tuple[str, ...] = (
+    "furiously", "carefully", "quickly", "blithely", "slyly", "final",
+    "special", "pending", "regular", "express", "ironic", "even", "bold",
+    "requests", "deposits", "accounts", "packages", "instructions",
+    "theodolites", "pinto", "beans", "foxes", "ideas", "dependencies",
+    "platelets", "excuses", "asymptotes", "courts", "dolphins", "sleep",
+    "nag", "haggle", "wake", "use", "cajole", "detect", "integrate",
+    "boost", "among", "above", "after", "along", "across",
+)
+
+_PART_TYPES_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+_PART_TYPES_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+_PART_TYPES_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+_CONTAINERS_1 = ("SM", "MED", "LG", "JUMBO", "WRAP")
+_CONTAINERS_2 = ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+_PART_NAME_WORDS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cream",
+    "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
+    "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey",
+    "honeydew", "hot", "hotpink", "indian", "ivory", "khaki", "lace",
+    "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+    "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach",
+    "peru", "pink", "plum", "powder", "puff", "purple", "red", "rose",
+    "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna",
+    "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle",
+    "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+)
+_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+
+
+def comment(rng: random.Random, min_words: int = 4, max_words: int = 10) -> str:
+    """A dbgen-flavoured comment string."""
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(_COMMENT_WORDS) for __ in range(count))
+
+
+def v_string(rng: random.Random, min_len: int = 10, max_len: int = 40) -> str:
+    """dbgen's V-string: random alphanumerics of random length (addresses)."""
+    alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789,. "
+    length = rng.randint(min_len, max_len)
+    return "".join(rng.choice(alphabet) for __ in range(length))
+
+
+def phone(rng: random.Random, nationkey: int) -> str:
+    """dbgen phone format: ``CC-LLL-LLL-LLLL`` with country code 10+nation."""
+    country = nationkey + 10
+    return (
+        f"{country}-{rng.randint(100, 999)}-{rng.randint(100, 999)}"
+        f"-{rng.randint(1000, 9999)}"
+    )
+
+
+def part_name(rng: random.Random) -> str:
+    """Five distinct colour words, dbgen's P_NAME rule."""
+    return " ".join(rng.sample(_PART_NAME_WORDS, 5))
+
+
+def part_type(rng: random.Random) -> str:
+    """Three-component part type string."""
+    return (
+        f"{rng.choice(_PART_TYPES_1)} {rng.choice(_PART_TYPES_2)} "
+        f"{rng.choice(_PART_TYPES_3)}"
+    )
+
+
+def part_container(rng: random.Random) -> str:
+    """Two-component container string."""
+    return f"{rng.choice(_CONTAINERS_1)} {rng.choice(_CONTAINERS_2)}"
+
+def part_brand(rng: random.Random) -> str:
+    """``Brand#MN`` with M, N in 1..5."""
+    return f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}"
+
+
+def market_segment(rng: random.Random) -> str:
+    """One of the five TPC-R customer market segments."""
+    return rng.choice(_SEGMENTS)
+
+
+def order_priority(rng: random.Random) -> str:
+    """One of the five TPC-R order priorities."""
+    return rng.choice(_PRIORITIES)
+
+
+def clerk(rng: random.Random, scale: float) -> str:
+    """``Clerk#000000NNN`` scaled like dbgen (1000 clerks per SF)."""
+    max_clerk = max(1, int(scale * 1000))
+    return f"Clerk#{rng.randint(1, max_clerk):09d}"

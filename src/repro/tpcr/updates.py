@@ -1,0 +1,87 @@
+"""The paper's update streams (Section 5).
+
+"Each modification randomly updates either a PartSupp row's supplycost, or
+a Supplier row's nationkey."  :class:`PartSuppCostUpdater` and
+:class:`SupplierNationUpdater` implement exactly those, deterministically
+from a seed.
+
+Updaters track the live row ids themselves (an update supersedes a row
+version, so the fresh version's id must replace the old one); this keeps
+picking a random victim O(1) instead of scanning the table.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.table import ModEvent, Table
+from repro.tpcr.text import NATIONS
+
+
+class TableUpdater:
+    """Base class: applies random single-row updates to one table."""
+
+    def __init__(self, table: Table, seed: int = 7):
+        self.table = table
+        self.rng = random.Random(f"{seed}/{table.name}")
+        # Live row ids at construction time; maintained incrementally.
+        self._live_rids = [
+            rid
+            for rid in range(table.version_count())
+            if table.version(rid).xmax is None
+        ]
+        if not self._live_rids:
+            raise ValueError(f"table {table.name!r} is empty; nothing to update")
+
+    def _mutate_row(self, rid: int) -> ModEvent:
+        """Apply one update to the row at ``rid``; return the event."""
+        raise NotImplementedError
+
+    def apply_one(self) -> ModEvent:
+        """Apply one random update; returns the logged event."""
+        slot = self.rng.randrange(len(self._live_rids))
+        rid = self._live_rids[slot]
+        event = self._mutate_row(rid)
+        # The update created a fresh version at the end of the heap.
+        self._live_rids[slot] = self.table.version_count() - 1
+        return event
+
+    def apply(self, k: int) -> list[ModEvent]:
+        """Apply ``k`` random updates."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return [self.apply_one() for __ in range(k)]
+
+    def __call__(self, k: int) -> None:
+        """Mutator interface for :func:`repro.ivm.calibration.measure_cost_function`."""
+        self.apply(k)
+
+
+class PartSuppCostUpdater(TableUpdater):
+    """Random ``supplycost`` updates on PartSupp, uniform in [1.00, 1000.00]."""
+
+    def _mutate_row(self, rid: int) -> ModEvent:
+        new_cost = round(self.rng.uniform(1.00, 1000.00), 2)
+        return self.table.update_rid(rid, {"supplycost": new_cost})
+
+
+class SupplierNationUpdater(TableUpdater):
+    """Random ``nationkey`` updates on Supplier, uniform over the 25 nations."""
+
+    def _mutate_row(self, rid: int) -> ModEvent:
+        new_nation = self.rng.randrange(len(NATIONS))
+        return self.table.update_rid(rid, {"nationkey": new_nation})
+
+
+class NationRegionUpdater(TableUpdater):
+    """Random ``regionkey`` updates on Nation, uniform over the 5 regions.
+
+    Not one of the paper's streams -- the third modification dimension for
+    the n = 3 scheduling extension (`repro.experiments.three_way`).  A
+    nation moving region drags every one of its suppliers' PartSupp rows
+    in or out of the view: the highest-fan-out, most expensive stream.
+    """
+
+    def _mutate_row(self, rid: int) -> ModEvent:
+        new_region = self.rng.randrange(5)
+        return self.table.update_rid(rid, {"regionkey": new_region})

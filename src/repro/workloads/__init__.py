@@ -1,0 +1,19 @@
+"""Arrival-sequence generators for the maintenance experiments."""
+
+from repro.workloads.arrivals import (
+    StreamParams,
+    bursty_arrivals,
+    periodic_arrivals,
+    poisson_arrivals,
+    stochastic_arrivals,
+    uniform_arrivals,
+)
+
+__all__ = [
+    "StreamParams",
+    "bursty_arrivals",
+    "periodic_arrivals",
+    "poisson_arrivals",
+    "stochastic_arrivals",
+    "uniform_arrivals",
+]

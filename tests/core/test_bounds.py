@@ -1,0 +1,181 @@
+"""Mechanical checks of the paper's analytical results (Section 3).
+
+These tests pit the A* LGM planner against the exhaustive all-plans oracle
+on instances small enough for the oracle, verifying:
+
+* Lemma 1 (laziness is free),
+* Theorem 1 (OPT_LGM <= 2 OPT) and its tightness construction,
+* Theorem 2 (linear costs: OPT_LGM == OPT).
+"""
+
+import random
+
+import pytest
+
+from repro.core.astar import find_optimal_lgm_plan
+from repro.core.costfuncs import BlockIOCost, ConcaveCost, LinearCost, StepCost
+from repro.core.exhaustive import (
+    find_optimal_lazy_plan_exhaustive,
+    find_optimal_plan_exhaustive,
+)
+from repro.core.problem import ProblemInstance
+
+
+def random_instance(rng, family):
+    n = rng.randint(1, 2)
+    costs = []
+    for __ in range(n):
+        if family == "linear":
+            costs.append(
+                LinearCost(rng.uniform(0.3, 2.0), rng.uniform(0.0, 4.0))
+            )
+        elif family == "block":
+            costs.append(
+                BlockIOCost(
+                    io_cost=rng.uniform(1.0, 3.0),
+                    block_size=rng.randint(2, 4),
+                    slope=rng.uniform(0.0, 0.4),
+                )
+            )
+        else:
+            costs.append(
+                ConcaveCost(rng.uniform(1.0, 3.0), rng.uniform(0.4, 1.0))
+            )
+    horizon = rng.randint(3, 7)
+    arrivals = [
+        tuple(rng.randint(0, 2) for __ in range(n))
+        for __ in range(horizon + 1)
+    ]
+    limit = rng.uniform(4.0, 12.0)
+    return ProblemInstance(costs, limit, arrivals)
+
+
+class TestLemma1:
+    """The best lazy plan is globally optimal."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lazy_restriction_is_free(self, seed):
+        rng = random.Random(seed)
+        problem = random_instance(rng, "linear")
+        full = find_optimal_plan_exhaustive(problem)
+        lazy = find_optimal_lazy_plan_exhaustive(problem)
+        assert lazy.cost == pytest.approx(full.cost, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6, 10))
+    def test_lazy_restriction_is_free_nonlinear(self, seed):
+        rng = random.Random(seed)
+        problem = random_instance(rng, "block")
+        full = find_optimal_plan_exhaustive(problem)
+        lazy = find_optimal_lazy_plan_exhaustive(problem)
+        assert lazy.cost == pytest.approx(full.cost, abs=1e-9)
+
+
+class TestTheorem1:
+    """OPT_LGM <= 2 OPT for monotone subadditive costs."""
+
+    @pytest.mark.parametrize("family", ["linear", "block", "concave"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_factor_two(self, family, seed):
+        rng = random.Random(1000 + seed)
+        problem = random_instance(rng, family)
+        lgm = find_optimal_lgm_plan(problem)
+        opt = find_optimal_plan_exhaustive(problem)
+        assert lgm.cost <= 2 * opt.cost + 1e-9
+        assert lgm.cost >= opt.cost - 1e-9  # sanity: LGM can't beat OPT
+
+    @pytest.mark.parametrize(
+        "eps,expected_ratio", [(1.0, 1.5), (0.5, 5 / 3), (0.25, 1.8)]
+    )
+    def test_tightness_construction(self, eps, expected_ratio):
+        """Section 3.2: ratio = (2 + eps) / (1 + eps) -> 2 as eps -> 0."""
+        limit = 10.0
+        per_step = int(round(2 / eps)) + 1
+        periods = 2
+        problem = ProblemInstance(
+            [StepCost(eps=eps, limit=limit)],
+            limit,
+            [(per_step,)] * (2 * periods),
+        )
+        lgm = find_optimal_lgm_plan(problem)
+        opt = find_optimal_plan_exhaustive(problem)
+        assert lgm.cost / opt.cost == pytest.approx(expected_ratio)
+
+    def test_tightness_construction_costs_match_paper_formulas(self):
+        eps, limit, periods = 0.5, 10.0, 3
+        per_step = int(round(2 / eps)) + 1
+        problem = ProblemInstance(
+            [StepCost(eps=eps, limit=limit)],
+            limit,
+            [(per_step,)] * (2 * periods),
+        )
+        lgm = find_optimal_lgm_plan(problem)
+        opt = find_optimal_plan_exhaustive(problem)
+        # OPT_LGM = (2 + eps) m C; OPT <= (1 + eps) m C.
+        assert lgm.cost == pytest.approx((2 + eps) * periods * limit)
+        assert opt.cost <= (1 + eps) * periods * limit + 1e-9
+
+
+class TestTheorem2:
+    """Linear costs: the best LGM plan is globally optimal."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_equality(self, seed):
+        rng = random.Random(2000 + seed)
+        problem = random_instance(rng, "linear")
+        lgm = find_optimal_lgm_plan(problem)
+        opt = find_optimal_plan_exhaustive(problem)
+        assert lgm.cost == pytest.approx(opt.cost, abs=1e-9)
+
+
+class TestTheorem4:
+    """ADAPT's additive bounds for linear costs (Section 4.2).
+
+    With ``f_i = a_i k + b_i`` and periodic arrivals:
+
+    * ``T < T0``:  cost(Q_{T0,T}) <= OPT_T + sum_i b_i
+    * ``T > T0``:  cost(Q_{T0,T}) <= OPT_T + ceil(T/T0) * sum_i b_i
+    """
+
+    @staticmethod
+    def _instance(seed, horizon):
+        rng = random.Random(seed)
+        n = rng.randint(1, 2)
+        costs = [
+            LinearCost(
+                slope=rng.uniform(0.3, 1.5), setup=rng.uniform(0.5, 6.0)
+            )
+            for __ in range(n)
+        ]
+        # Periodic (constant) arrivals, as Theorem 4's T > T0 case assumes.
+        rates = tuple(rng.randint(1, 2) for __ in range(n))
+        arrivals = [rates] * (horizon + 1)
+        limit = rng.uniform(8.0, 20.0)
+        return ProblemInstance(costs, limit, arrivals)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_underestimated_horizon_bound(self, seed):
+        import math
+
+        from repro.core.adapt import adapt_plan
+        from repro.core.simulator import simulate_policy
+
+        problem = self._instance(3000 + seed, horizon=60)
+        t0 = 25  # T0 < T: execute the T0 plan cyclically
+        policy = adapt_plan(problem, t0)
+        trace = simulate_policy(problem, policy)
+        opt = find_optimal_lgm_plan(problem).cost  # == OPT_T (Theorem 2)
+        setups = sum(f.setup for f in problem.cost_functions)
+        bound = opt + math.ceil(problem.horizon / t0) * setups
+        assert trace.total_cost <= bound + 1e-6
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_overestimated_horizon_bound(self, seed):
+        from repro.core.adapt import adapt_plan
+        from repro.core.simulator import simulate_policy
+
+        problem = self._instance(4000 + seed, horizon=40)
+        policy = adapt_plan(problem, 90)  # T0 > T: stop early, flush at T
+        trace = simulate_policy(problem, policy)
+        opt = find_optimal_lgm_plan(problem).cost
+        setups = sum(f.setup for f in problem.cost_functions)
+        assert trace.total_cost <= opt + setups + 1e-6

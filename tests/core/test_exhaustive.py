@@ -1,0 +1,92 @@
+"""Tests for the exhaustive optimal-plan oracle."""
+
+import pytest
+
+from repro.core.costfuncs import LinearCost, StepCost
+from repro.core.exhaustive import (
+    find_optimal_lazy_plan_exhaustive,
+    find_optimal_plan_exhaustive,
+)
+from repro.core.problem import ProblemInstance
+
+
+class TestExhaustiveOracle:
+    def test_trivial_instance(self):
+        problem = ProblemInstance([LinearCost(1.0)], 5.0, [(2,)])
+        result = find_optimal_plan_exhaustive(problem)
+        assert result.cost == pytest.approx(2.0)
+        assert result.plan.actions == ((2,),)
+
+    def test_batching_preferred_with_setup(self):
+        # f = k + 4; two steps of 1 arrival; limit high enough to defer.
+        problem = ProblemInstance(
+            [LinearCost(slope=1.0, setup=4.0)], 10.0, [(1,), (1,)]
+        )
+        result = find_optimal_plan_exhaustive(problem)
+        # One combined batch (cost 6) beats two singles (cost 10).
+        assert result.cost == pytest.approx(6.0)
+        assert result.plan.actions == ((0,), (2,))
+
+    def test_forced_intermediate_action(self):
+        problem = ProblemInstance(
+            [LinearCost(slope=1.0)], 3.0, [(2,), (2,), (2,)]
+        )
+        result = find_optimal_plan_exhaustive(problem)
+        result.plan.check_valid(problem)
+        # Total work is fixed (slope-only cost): 6 units.
+        assert result.cost == pytest.approx(6.0)
+
+    def test_partial_actions_beat_lgm_on_step_cost(self):
+        """The Section 3.2 example: non-greedy plans win on step costs."""
+        limit = 10.0
+        cost = StepCost(eps=0.5, limit=limit)  # knee at 4
+        # 5 modifications per step: LGM must flush all 5 each step at cost
+        # 1.25 * C; a partial plan processes 1 now + 9 next at (0.25+1.25)C
+        # per two steps.
+        problem = ProblemInstance([cost], limit, [(5,)] * 4)
+        result = find_optimal_plan_exhaustive(problem)
+        # Optimal: (1+eps) * m * C = 1.5 * 2 * 10 = 30.
+        assert result.cost == pytest.approx(30.0)
+        # Verify at least one action is partial (neither 0 nor the backlog).
+        pre_states = result.plan.pre_action_states(problem)
+        partial = any(
+            0 < result.plan.actions[t][0] < pre_states[t][0]
+            for t in range(problem.horizon)
+        )
+        assert partial
+
+    def test_state_budget_guard(self):
+        problem = ProblemInstance(
+            [LinearCost(1.0), LinearCost(1.0)], 50.0, [(5, 5)] * 10
+        )
+        with pytest.raises(ValueError, match="max_states"):
+            find_optimal_plan_exhaustive(problem, max_states=100)
+
+
+class TestExhaustiveLazyOracle:
+    def test_lazy_matches_unrestricted_optimum(self):
+        """Lemma 1's consequence: restricting to lazy plans is free."""
+        import random
+
+        rng = random.Random(9)
+        for __ in range(10):
+            n = rng.randint(1, 2)
+            costs = [
+                LinearCost(rng.uniform(0.3, 1.5), rng.uniform(0, 3))
+                for __ in range(n)
+            ]
+            arrivals = [
+                tuple(rng.randint(0, 2) for __ in range(n))
+                for __ in range(rng.randint(3, 7))
+            ]
+            problem = ProblemInstance(costs, rng.uniform(3, 9), arrivals)
+            full = find_optimal_plan_exhaustive(problem)
+            lazy = find_optimal_lazy_plan_exhaustive(problem)
+            assert lazy.cost == pytest.approx(full.cost, abs=1e-9)
+
+    def test_lazy_plan_is_lazy(self):
+        problem = ProblemInstance(
+            [LinearCost(1.0, 2.0)], 5.0, [(2,), (2,), (2,)]
+        )
+        result = find_optimal_lazy_plan_exhaustive(problem)
+        assert result.plan.is_lazy(problem)

@@ -1,0 +1,128 @@
+"""Tests for plan / cost-function persistence and the consistency checker."""
+
+import random
+
+import pytest
+
+from repro.core.astar import check_heuristic_consistency, find_optimal_lgm_plan
+from repro.core.costfuncs import (
+    BlockIOCost,
+    ConcaveCost,
+    LinearCost,
+    PiecewiseLinearCost,
+    TabulatedCost,
+)
+from repro.core.persistence import (
+    cost_function_from_dict,
+    cost_function_to_dict,
+    load_cost_functions,
+    load_plan,
+    plan_from_dict,
+    save_cost_functions,
+    save_plan,
+)
+from repro.core.plan import Plan
+from repro.core.problem import ProblemInstance
+
+
+class TestPlanPersistence:
+    def test_roundtrip(self, tmp_path):
+        plan = Plan([(1, 2), (0, 0), (3, 4)])
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        assert load_plan(path) == plan
+
+    def test_roundtripped_plan_still_valid(self, tmp_path):
+        problem = ProblemInstance(
+            [LinearCost(0.1, 5.0), LinearCost(0.25)], 12.0, [(1, 1)] * 40
+        )
+        plan = find_optimal_lgm_plan(problem).plan
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        restored = load_plan(path)
+        restored.check_valid(problem)
+        assert restored.cost(problem) == pytest.approx(plan.cost(problem))
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro plan"):
+            plan_from_dict({"format": "something-else"})
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="declared shape"):
+            plan_from_dict(
+                {
+                    "format": "repro-plan-v1",
+                    "horizon": 9,
+                    "tables": 2,
+                    "actions": [[1, 2]],
+                }
+            )
+
+
+class TestCostFunctionPersistence:
+    @pytest.mark.parametrize(
+        "f",
+        [
+            LinearCost(slope=1.5, setup=4.0),
+            TabulatedCost([(10, 5.0), (20, 8.0)]),
+            BlockIOCost(io_cost=3.0, block_size=8, slope=0.2),
+            ConcaveCost(coeff=2.0, exponent=0.7),
+        ],
+    )
+    def test_roundtrip_preserves_values(self, f):
+        restored = cost_function_from_dict(cost_function_to_dict(f))
+        for k in (0, 1, 7, 63, 500):
+            assert restored(k) == pytest.approx(f(k))
+
+    def test_named_set_roundtrip(self, tmp_path):
+        functions = {
+            "PS": LinearCost(0.17, 3.4),
+            "S": TabulatedCost([(10, 600.0), (100, 1400.0)]),
+        }
+        path = tmp_path / "costs.json"
+        save_cost_functions(functions, path)
+        restored = load_cost_functions(path)
+        assert set(restored) == {"PS", "S"}
+        assert restored["S"](50) == pytest.approx(functions["S"](50))
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            cost_function_to_dict(
+                PiecewiseLinearCost([(0, 0.0), (10, 5.0)])
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown cost-function"):
+            cost_function_from_dict({"kind": "mystery"})
+
+    def test_bad_file_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(ValueError, match="cost-function file"):
+            load_cost_functions(path)
+
+
+class TestHeuristicConsistency:
+    def test_rate_heuristic_is_consistent_on_random_instances(self):
+        rng = random.Random(55)
+        for __ in range(8):
+            n = rng.randint(1, 3)
+            costs = [
+                LinearCost(rng.uniform(0.2, 2.0), rng.uniform(0, 8))
+                for __ in range(n)
+            ]
+            arrivals = [
+                tuple(rng.randint(0, 3) for __ in range(n))
+                for __ in range(rng.randint(5, 30))
+            ]
+            problem = ProblemInstance(costs, rng.uniform(5, 25), arrivals)
+            assert check_heuristic_consistency(problem) == []
+
+    def test_consistent_on_tabulated_tpcr_curves(self):
+        from repro.experiments import common
+
+        costs = common.cost_functions(scale=0.002)
+        problem = common.make_problem(
+            [(20, 1)] * 60, common.default_limit(costs), costs
+        )
+        assert check_heuristic_consistency(problem) == []

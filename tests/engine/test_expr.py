@@ -1,0 +1,119 @@
+"""Unit tests for the expression/predicate layer."""
+
+import pytest
+
+from repro.engine.errors import SchemaError
+from repro.engine.expr import (
+    and_,
+    col,
+    lit,
+    not_,
+    or_,
+    resolve_column,
+)
+
+LAYOUT = {"E.a": 0, "E.b": 1, "D.a": 2}
+
+
+def run(expr, row, layout=None):
+    return expr.compile(layout or LAYOUT)(row)
+
+
+class TestColumnResolution:
+    def test_qualified_exact(self):
+        assert resolve_column("E.b", LAYOUT) == 1
+
+    def test_bare_unambiguous(self):
+        assert resolve_column("b", LAYOUT) == 1
+
+    def test_bare_ambiguous_rejected(self):
+        with pytest.raises(SchemaError, match="ambiguous"):
+            resolve_column("a", LAYOUT)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            resolve_column("zzz", LAYOUT)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            (col("E.a") == lit(5), True),
+            (col("E.a") != lit(5), False),
+            (col("E.a") < lit(6), True),
+            (col("E.a") <= lit(5), True),
+            (col("E.a") > lit(5), False),
+            (col("E.a") >= lit(5), True),
+        ],
+    )
+    def test_operators(self, expr, expected):
+        assert run(expr, (5, "x", 9)) is expected
+
+    def test_column_to_column(self):
+        expr = col("E.a") == col("D.a")
+        assert run(expr, (5, "x", 5))
+        assert not run(expr, (5, "x", 6))
+
+    def test_equijoin_detection(self):
+        join = col("E.a") == col("D.a")
+        assert join.equijoin_columns() == ("E.a", "D.a")
+        assert (col("E.a") == lit(5)).equijoin_columns() is None
+        assert (col("E.a") < col("D.a")).equijoin_columns() is None
+
+    def test_string_comparison(self):
+        assert run(col("E.b") == lit("x"), (5, "x", 9))
+
+
+class TestArithmetic:
+    def test_operations(self):
+        row = (6, "x", 3)
+        assert run(col("E.a") + col("D.a"), row) == 9
+        assert run(col("E.a") - col("D.a"), row) == 3
+        assert run(col("E.a") * lit(2), row) == 12
+        assert run(col("E.a") / col("D.a"), row) == pytest.approx(2.0)
+
+    def test_composition(self):
+        expr = (col("E.a") + lit(1)) * lit(10) >= lit(70)
+        assert run(expr, (6, "x", 3))
+        assert not run(expr, (5, "x", 3))
+
+
+class TestBooleans:
+    def test_and(self):
+        expr = and_(col("E.a") > lit(1), col("D.a") > lit(1))
+        assert run(expr, (2, "x", 2))
+        assert not run(expr, (2, "x", 0))
+
+    def test_or(self):
+        expr = or_(col("E.a") > lit(10), col("D.a") > lit(1))
+        assert run(expr, (2, "x", 2))
+        assert not run(expr, (2, "x", 0))
+
+    def test_not(self):
+        expr = not_(col("E.a") == lit(5))
+        assert not run(expr, (5, "x", 0))
+        assert run(expr, (6, "x", 0))
+
+    def test_single_operand_passthrough(self):
+        base = col("E.a") == lit(5)
+        assert and_(base) is base
+        assert or_(base) is base
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            and_()
+        with pytest.raises(SchemaError):
+            or_()
+
+
+class TestReferences:
+    def test_references_collects_columns(self):
+        expr = and_(col("E.a") == col("D.a"), col("E.b") == lit("x"))
+        assert expr.references() == frozenset({"E.a", "D.a", "E.b"})
+
+    def test_const_has_no_references(self):
+        assert lit(5).references() == frozenset()
+
+    def test_not_references(self):
+        assert not_(col("E.a") == lit(1)).references() == frozenset({"E.a"})

@@ -1,0 +1,78 @@
+"""Unit tests for hash and sorted indexes."""
+
+import pytest
+
+from repro.engine.errors import SchemaError
+from repro.engine.index import HashIndex, SortedIndex
+
+
+class TestHashIndex:
+    def test_add_and_lookup(self):
+        idx = HashIndex("i", "c")
+        idx.add(5, 0)
+        idx.add(5, 3)
+        idx.add(7, 1)
+        assert set(idx.lookup(5)) == {0, 3}
+        assert idx.lookup(7) == (1,)
+        assert idx.lookup(99) == ()
+        assert len(idx) == 3
+
+    def test_remove(self):
+        idx = HashIndex("i", "c")
+        idx.add(5, 0)
+        idx.add(5, 1)
+        idx.remove(5, 0)
+        assert idx.lookup(5) == (1,)
+        assert len(idx) == 1
+
+    def test_remove_is_idempotent(self):
+        idx = HashIndex("i", "c")
+        idx.add(5, 0)
+        idx.remove(5, 0)
+        idx.remove(5, 0)
+        idx.remove(99, 4)
+        assert len(idx) == 0
+        assert idx.lookup(5) == ()
+
+    def test_keys(self):
+        idx = HashIndex("i", "c")
+        idx.add("a", 0)
+        idx.add("b", 1)
+        assert set(idx.keys()) == {"a", "b"}
+
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            HashIndex("", "c")
+
+
+class TestSortedIndex:
+    def test_add_and_lookup(self):
+        idx = SortedIndex("i", "c")
+        for key, rid in [(5, 0), (3, 1), (5, 2), (9, 3)]:
+            idx.add(key, rid)
+        assert set(idx.lookup(5)) == {0, 2}
+        assert idx.lookup(4) == ()
+        assert len(idx) == 4
+
+    def test_range(self):
+        idx = SortedIndex("i", "c")
+        for key, rid in [(1, 0), (3, 1), (5, 2), (7, 3)]:
+            idx.add(key, rid)
+        assert idx.range(2, 5) == ((3, 1), (5, 2))
+        assert idx.range(8, 10) == ()
+
+    def test_first(self):
+        idx = SortedIndex("i", "c")
+        assert idx.first() is None
+        idx.add(9, 0)
+        idx.add(2, 1)
+        assert idx.first() == (2, 1)
+
+    def test_remove(self):
+        idx = SortedIndex("i", "c")
+        idx.add(5, 0)
+        idx.add(5, 1)
+        idx.remove(5, 0)
+        assert idx.lookup(5) == (1,)
+        idx.remove(5, 99)  # absent: no-op
+        assert len(idx) == 1

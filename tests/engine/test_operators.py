@@ -1,0 +1,178 @@
+"""Unit tests for scans, filters, projections, and the join operators."""
+
+import pytest
+
+from repro.engine.costmodel import OperationCounter
+from repro.engine.errors import SchemaError
+from repro.engine.expr import col, lit
+from repro.engine.join import HashJoin, IndexNestedLoopJoin, NestedLoopJoin
+from repro.engine.operators import (
+    Filter,
+    Project,
+    RowSource,
+    SeqScan,
+    merged_layout,
+)
+
+
+@pytest.fixture
+def emp(toy_db):
+    return toy_db.table("emp")
+
+
+@pytest.fixture
+def dept(toy_db):
+    return toy_db.table("dept")
+
+
+class TestSeqScan:
+    def test_yields_all_rows_with_alias_layout(self, toy_db, emp):
+        scan = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        rows = scan.rows()
+        assert len(rows) == 5
+        assert scan.layout["E.empno"] == 0
+        assert scan.layout["E.salary"] == 3
+
+    def test_charges_pages_and_cpu(self, toy_db, emp):
+        before = toy_db.counter.snapshot()
+        SeqScan(emp.snapshot(), "E", toy_db.counter).rows()
+        after = toy_db.counter.snapshot()
+        assert after["page_reads"] == before["page_reads"] + 1
+        assert after["tuple_cpu"] == before["tuple_cpu"] + 5
+
+
+class TestRowSource:
+    def test_serves_in_memory_rows(self):
+        counter = OperationCounter()
+        src = RowSource([(1, "a"), (2, "b")], ("k", "v"), "D", counter)
+        assert src.rows() == [(1, "a"), (2, "b")]
+        assert src.layout == {"D.k": 0, "D.v": 1}
+        assert len(src) == 2
+        assert counter.page_reads == 0  # deltas live in memory
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            RowSource([], ("k", "k"), "D", OperationCounter())
+
+
+class TestFilterAndProject:
+    def test_filter(self, toy_db, emp):
+        scan = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        high = Filter(scan, col("E.salary") >= lit(200.0))
+        names = sorted(row[1] for row in high)
+        assert names == ["bob", "carol", "erin"]
+
+    def test_project_reorders(self, toy_db, emp):
+        scan = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        proj = Project(scan, ["E.salary", "E.name"])
+        rows = proj.rows()
+        assert rows[0] == (100.0, "alice")
+        assert proj.layout == {"E.salary": 0, "E.name": 1}
+
+    def test_project_unknown_column(self, toy_db, emp):
+        scan = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        with pytest.raises(SchemaError):
+            Project(scan, ["E.nope"])
+
+    def test_project_duplicate_rejected(self, toy_db, emp):
+        scan = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        with pytest.raises(SchemaError, match="duplicate"):
+            Project(scan, ["E.name", "E.name"])
+
+
+class TestMergedLayout:
+    def test_concatenates(self):
+        left = {"A.x": 0, "A.y": 1}
+        right = {"B.z": 0}
+        assert merged_layout(left, right) == {"A.x": 0, "A.y": 1, "B.z": 2}
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SchemaError, match="share"):
+            merged_layout({"A.x": 0}, {"A.x": 0})
+
+
+class TestNestedLoopJoin:
+    def test_cross_product_with_predicate(self, toy_db, emp, dept):
+        left = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        right = SeqScan(dept.snapshot(), "D", toy_db.counter)
+        join = NestedLoopJoin(left, right, col("E.deptno") == col("D.deptno"))
+        rows = join.rows()
+        assert len(rows) == 5
+        layout = join.layout
+        for row in rows:
+            assert row[layout["E.deptno"]] == row[layout["D.deptno"]]
+
+    def test_no_predicate_is_cross_product(self, toy_db, emp, dept):
+        left = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        right = SeqScan(dept.snapshot(), "D", toy_db.counter)
+        assert len(NestedLoopJoin(left, right, None).rows()) == 15
+
+
+class TestIndexNestedLoopJoin:
+    def test_join_via_index(self, toy_db, emp, dept):
+        dept.create_index("deptno")
+        left = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        join = IndexNestedLoopJoin(
+            left, dept.snapshot(), "D", "E.deptno", "deptno"
+        )
+        rows = join.rows()
+        assert len(rows) == 5
+        names = {
+            (row[join.layout["E.name"]], row[join.layout["D.dname"]])
+            for row in rows
+        }
+        assert ("alice", "eng") in names
+        assert ("erin", "ops") in names
+
+    def test_requires_index(self, toy_db, emp, dept):
+        left = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        with pytest.raises(SchemaError, match="needs an index"):
+            IndexNestedLoopJoin(
+                left, dept.snapshot(), "D", "E.deptno", "deptno"
+            )
+
+    def test_charges_one_probe_per_outer_tuple(self, toy_db, emp, dept):
+        dept.create_index("deptno")
+        left = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        before = toy_db.counter.index_probes
+        IndexNestedLoopJoin(
+            left, dept.snapshot(), "D", "E.deptno", "deptno"
+        ).rows()
+        assert toy_db.counter.index_probes == before + 5
+
+
+class TestHashJoin:
+    def test_equi_join(self, toy_db, emp, dept):
+        left = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        right = SeqScan(dept.snapshot(), "D", toy_db.counter)
+        join = HashJoin(left, right, "E.deptno", "D.deptno")
+        assert len(join.rows()) == 5
+
+    def test_build_cost_paid_at_construction(self, toy_db, emp, dept):
+        left = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        right = SeqScan(dept.snapshot(), "D", toy_db.counter)
+        before = toy_db.counter.hash_builds
+        HashJoin(left, right, "E.deptno", "D.deptno")  # not iterated
+        assert toy_db.counter.hash_builds == before + 3
+
+    def test_dangling_keys_produce_nothing(self, toy_db, emp, dept):
+        emp.insert((9, "zed", 99, 1.0))  # department 99 doesn't exist
+        left = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        right = SeqScan(dept.snapshot(), "D", toy_db.counter)
+        join = HashJoin(left, right, "E.deptno", "D.deptno")
+        assert len(join.rows()) == 5  # zed joins nothing
+
+    def test_agrees_with_nested_loop(self, toy_db, emp, dept):
+        left1 = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        right1 = SeqScan(dept.snapshot(), "D", toy_db.counter)
+        hash_rows = sorted(
+            HashJoin(left1, right1, "E.deptno", "D.deptno").rows()
+        )
+        left2 = SeqScan(emp.snapshot(), "E", toy_db.counter)
+        right2 = SeqScan(dept.snapshot(), "D", toy_db.counter)
+        nl_rows = sorted(
+            NestedLoopJoin(
+                left2, right2, col("E.deptno") == col("D.deptno")
+            ).rows()
+        )
+        assert hash_rows == nl_rows

@@ -1,0 +1,184 @@
+"""Unit tests for MVCC-lite tables, histories, and snapshots."""
+
+import pytest
+
+from repro.engine.errors import ExecutionError, SchemaError
+from repro.engine.table import Table
+from repro.engine.types import ColumnType, Schema
+
+
+@pytest.fixture
+def table():
+    return Table("t", Schema.of(k=ColumnType.INT, v=ColumnType.STR))
+
+
+class TestModifications:
+    def test_insert_assigns_lsns(self, table):
+        e1 = table.insert((1, "a"))
+        e2 = table.insert((2, "b"))
+        assert (e1.lsn, e2.lsn) == (1, 2)
+        assert table.current_lsn == 2
+        assert table.live_count == 2
+
+    def test_insert_validates_schema(self, table):
+        with pytest.raises(SchemaError):
+            table.insert(("not-int", "a"))
+
+    def test_delete(self, table):
+        table.insert((1, "a"))
+        event = table.delete_rid(0)
+        assert event.kind == "delete"
+        assert event.old_values == (1, "a")
+        assert table.live_count == 0
+
+    def test_delete_dead_row_rejected(self, table):
+        table.insert((1, "a"))
+        table.delete_rid(0)
+        with pytest.raises(ExecutionError, match="not live"):
+            table.delete_rid(0)
+
+    def test_delete_out_of_range(self, table):
+        with pytest.raises(ExecutionError, match="out of range"):
+            table.delete_rid(5)
+
+    def test_update_creates_new_version(self, table):
+        table.insert((1, "a"))
+        event = table.update_rid(0, {"v": "z"})
+        assert event.kind == "update"
+        assert event.old_values == (1, "a")
+        assert event.new_values == (1, "z")
+        assert table.live_count == 1
+        assert table.version_count() == 2
+        assert list(table.live_rows()) == [(1, "z")]
+
+    def test_update_requires_changes(self, table):
+        table.insert((1, "a"))
+        with pytest.raises(ExecutionError, match="no changed columns"):
+            table.update_rid(0, {})
+
+    def test_update_validates_types(self, table):
+        table.insert((1, "a"))
+        with pytest.raises(SchemaError):
+            table.update_rid(0, {"k": "oops"})
+
+    def test_history_records_everything(self, table):
+        table.insert((1, "a"))
+        table.update_rid(0, {"v": "b"})
+        table.delete_rid(1)
+        kinds = [e.kind for e in table.history]
+        assert kinds == ["insert", "update", "delete"]
+
+    def test_events_between(self, table):
+        for i in range(5):
+            table.insert((i, "x"))
+        window = table.events_between(1, 4)
+        assert [e.lsn for e in window] == [2, 3, 4]
+
+    def test_find_rids(self, table):
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        table.insert((3, "a"))
+        rids = table.find_rids(lambda row: row[1] == "a")
+        assert rids == [0, 2]
+
+
+class TestSnapshots:
+    def test_snapshot_sees_past_state(self, table):
+        table.insert((1, "a"))
+        lsn = table.current_lsn
+        table.insert((2, "b"))
+        table.update_rid(0, {"v": "z"})
+        old = table.snapshot(lsn)
+        assert sorted(old.rows()) == [(1, "a")]
+        now = table.snapshot()
+        assert sorted(now.rows()) == [(1, "z"), (2, "b")]
+
+    def test_snapshot_counts_cached(self, table):
+        table.insert((1, "a"))
+        snap = table.snapshot()
+        assert snap.count() == 1
+        table.insert((2, "b"))  # snapshot stays pinned at its LSN
+        assert snap.count() == 1
+
+    def test_snapshot_of_deleted_row(self, table):
+        table.insert((1, "a"))
+        lsn = table.current_lsn
+        table.delete_rid(0)
+        assert list(table.snapshot(lsn).rows()) == [(1, "a")]
+        assert list(table.snapshot().rows()) == []
+
+    def test_snapshot_lsn_bounds(self, table):
+        with pytest.raises(ExecutionError):
+            table.snapshot(5)
+        with pytest.raises(ExecutionError):
+            table.snapshot(-1)
+
+    def test_snapshot_at_zero_is_empty(self, table):
+        table.insert((1, "a"))
+        assert list(table.snapshot(0).rows()) == []
+
+    def test_column_values(self, table):
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        assert sorted(table.snapshot().column_values("k")) == [1, 2]
+
+
+class TestIndexedSnapshots:
+    def test_index_lookup_current(self, table):
+        table.create_index("k")
+        table.insert((1, "a"))
+        table.insert((1, "b"))
+        table.insert((2, "c"))
+        snap = table.snapshot()
+        assert sorted(snap.lookup("k", 1)) == [(1, "a"), (1, "b")]
+        assert snap.lookup("k", 9) == []
+
+    def test_index_lookup_historical_is_exact(self, table):
+        """Version-aware indexes serve any snapshot LSN exactly."""
+        table.create_index("k")
+        table.insert((1, "a"))
+        lsn = table.current_lsn
+        table.update_rid(0, {"v": "z"})
+        table.insert((1, "extra"))
+        old = table.snapshot(lsn)
+        assert old.lookup("k", 1) == [(1, "a")]
+        now = table.snapshot()
+        assert sorted(now.lookup("k", 1)) == [(1, "extra"), (1, "z")]
+
+    def test_index_backfill_covers_existing_versions(self, table):
+        table.insert((1, "a"))
+        lsn = table.current_lsn
+        table.delete_rid(0)
+        table.create_index("k")  # created after the delete
+        assert table.snapshot(lsn).lookup("k", 1) == [(1, "a")]
+        assert table.snapshot().lookup("k", 1) == []
+
+    def test_lookup_without_index_raises(self, table):
+        table.insert((1, "a"))
+        with pytest.raises(LookupError):
+            table.snapshot().lookup("v", "a")
+        assert not table.snapshot().has_index("v")
+
+    def test_duplicate_index_rejected(self, table):
+        table.create_index("k")
+        with pytest.raises(SchemaError, match="already exists"):
+            table.create_index("k")
+
+    def test_index_on_prefers_hash(self, table):
+        sorted_idx = table.create_index("k", kind="sorted")
+        hash_idx = table.create_index("k", kind="hash", name="k_hash")
+        assert table.index_on("k") is hash_idx
+        assert table.index_on("v") is None
+        assert sorted_idx.name == "t_k_sorted"
+
+    def test_unknown_index_kind(self, table):
+        with pytest.raises(SchemaError, match="unknown index kind"):
+            table.create_index("k", kind="btree")
+
+
+class TestCostCharging:
+    def test_modifications_charge_counter(self, table):
+        before = table.counter.row_writes
+        table.insert((1, "a"))
+        table.update_rid(0, {"v": "b"})
+        assert table.counter.row_writes == before + 3  # 1 insert + 2 update

@@ -1,0 +1,52 @@
+"""Smoke tests for the extension experiments (small parameters)."""
+
+import pytest
+
+from repro.experiments.online_bound_study import run_online_bound_study
+from repro.experiments.operator_asymmetry import run_operator_asymmetry
+from repro.experiments.three_way import run_three_way
+from tests.conftest import TEST_SCALE
+
+
+class TestOnlineBoundStudy:
+    def test_ratios_within_envelope(self):
+        result = run_online_bound_study(samples_per_family=2, seed=5)
+        assert 1.0 <= result.worst_ratio < 2.0
+        for family, online_mean, online_max, naive_mean, naive_max in (
+            result.rows()
+        ):
+            assert online_mean <= online_max
+            assert naive_mean <= naive_max
+            assert online_max < 2.0  # inside the LGM factor-2 envelope
+        assert "ONLINE cost bound" in result.format()
+
+
+class TestOperatorAsymmetry:
+    def test_cut_beats_naive(self):
+        result = run_operator_asymmetry(horizon=120)
+        assert result.naive_cost > result.best_cost
+        assert result.best_cut >= 1
+        assert "Operator-level" in result.format()
+
+
+class TestThreeWay:
+    def test_hierarchy_and_advantage(self):
+        result = run_three_way(scale=TEST_SCALE, horizon=120)
+        assert result.naive_cost > result.opt_cost
+        ps, s, n = result.opt_action_counts
+        assert ps >= s >= n >= 1
+        # The calibrated setups are ordered: PS tiny, S and N large.
+        assert result.fits["PS"][1] < result.fits["S"][1]
+        assert result.fits["PS"][1] < result.fits["N"][1]
+        assert "Three-way" in result.format()
+
+
+class TestConcavityStudy:
+    def test_gap_ordering(self):
+        from repro.experiments.concavity_study import run_concavity_study
+
+        result = run_concavity_study(random_trials=5, climb_steps=4, seed=9)
+        assert result.worst("linear") == pytest.approx(1.0)
+        assert result.worst("concave") < result.worst("step")
+        assert result.worst("step") >= 1.5
+        assert "Concavity" in result.format()

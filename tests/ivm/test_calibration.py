@@ -1,0 +1,80 @@
+"""Tests for cost-function calibration against the live engine."""
+
+import pytest
+
+from repro.ivm.calibration import measure_cost_function
+
+
+class TestMeasureCostFunction:
+    def test_produces_monotone_samples(self, paper_view, updaters):
+        ps_updater, __ = updaters
+        result = measure_cost_function(
+            paper_view, "PS", (5, 20, 60), ps_updater
+        )
+        ks = [k for k, __ in result.samples]
+        costs = [c for __, c in result.samples]
+        assert ks == [5, 20, 60]
+        assert costs == sorted(costs)
+        assert all(c > 0 for c in costs)
+
+    def test_asymmetry_between_tables(self, paper_view, updaters):
+        """Supplier batches must carry a much larger setup than PartSupp
+        (the paper's central observation)."""
+        ps_updater, sup_updater = updaters
+        cal_ps = measure_cost_function(
+            paper_view, "PS", (5, 20, 60), ps_updater
+        )
+        cal_s = measure_cost_function(
+            paper_view, "S", (5, 20, 60), sup_updater
+        )
+        assert cal_s.linear_fit.setup > 10 * max(cal_ps.linear_fit.setup, 1.0)
+
+    def test_linear_fit_quality(self, paper_view, updaters):
+        ps_updater, __ = updaters
+        result = measure_cost_function(
+            paper_view, "PS", (10, 30, 60, 120), ps_updater
+        )
+        assert result.max_relative_fit_error() < 0.25
+
+    def test_tabulated_replays_measurements(self, paper_view, updaters):
+        ps_updater, __ = updaters
+        result = measure_cost_function(
+            paper_view, "PS", (10, 40), ps_updater
+        )
+        for k, measured in result.samples:
+            assert result.tabulated(k) == pytest.approx(measured)
+
+    def test_view_remains_consistent_after_calibration(
+        self, paper_view, updaters
+    ):
+        ps_updater, sup_updater = updaters
+        measure_cost_function(paper_view, "PS", (5, 10), ps_updater)
+        measure_cost_function(paper_view, "S", (2, 4), sup_updater)
+        assert paper_view.contents() == paper_view.recompute()
+        assert not paper_view.is_stale()
+
+    def test_repetitions_average(self, paper_view, updaters):
+        ps_updater, __ = updaters
+        result = measure_cost_function(
+            paper_view, "PS", (5, 10), ps_updater, repetitions=2
+        )
+        assert len(result.samples) == 2
+
+    def test_guards(self, paper_view, updaters):
+        ps_updater, __ = updaters
+        with pytest.raises(ValueError, match="no alias"):
+            measure_cost_function(paper_view, "ZZ", (5, 10), ps_updater)
+        with pytest.raises(ValueError, match="repetitions"):
+            measure_cost_function(
+                paper_view, "PS", (5, 10), ps_updater, repetitions=0
+            )
+        with pytest.raises(ValueError, match="two non-zero"):
+            measure_cost_function(paper_view, "PS", (0, 5), ps_updater)
+
+    def test_mismatched_mutator_detected(self, paper_view, updaters):
+        __, sup_updater = updaters
+        # Mutator touches Supplier while we calibrate PS.
+        with pytest.raises(RuntimeError, match="expected"):
+            measure_cost_function(
+                paper_view, "PS", (3, 6), sup_updater
+            )

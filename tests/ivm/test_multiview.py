@@ -1,0 +1,137 @@
+"""Tests for the multi-view maintenance coordinator."""
+
+import pytest
+
+from repro.core.costfuncs import LinearCost
+from repro.core.naive import NaivePolicy
+from repro.core.online import OnlinePolicy
+from repro.engine.expr import col, lit
+from repro.engine.query import AggregateSpec, JoinSpec, QuerySpec
+from repro.ivm.multiview import MaintenanceCoordinator, ViewConfig
+from repro.tpcr.updates import PartSuppCostUpdater, SupplierNationUpdater
+from tests.conftest import make_paper_spec, make_tpcr_db
+
+COSTS = (LinearCost(slope=0.2, setup=1.0), LinearCost(slope=10.0, setup=120.0))
+
+
+def count_view_spec():
+    """A second summary over the same tables: suppliers per region."""
+    return QuerySpec(
+        base_alias="S",
+        base_table="supplier",
+        joins=(
+            JoinSpec("N", "nation", "S.nationkey", "nationkey"),
+            JoinSpec("R", "region", "N.regionkey", "regionkey"),
+        ),
+        aggregate=AggregateSpec(
+            func="count", value=col("S.suppkey"), group_by=("R.name",)
+        ),
+    )
+
+
+def make_coordinator():
+    db = make_tpcr_db()
+    coordinator = MaintenanceCoordinator(db)
+    coordinator.add_view(
+        ViewConfig(
+            name="min_cost",
+            query=make_paper_spec(),
+            policy=OnlinePolicy(),
+            cost_functions=COSTS,
+            limit=600.0,
+            scheduled_aliases=("PS", "S"),
+        )
+    )
+    coordinator.add_view(
+        ViewConfig(
+            name="region_counts",
+            query=count_view_spec(),
+            policy=NaivePolicy(),
+            cost_functions=(LinearCost(slope=12.0, setup=20.0),),
+            limit=400.0,
+            scheduled_aliases=("S",),
+        )
+    )
+    ps = PartSuppCostUpdater(db.table("partsupp"), seed=91)
+    sup = SupplierNationUpdater(db.table("supplier"), seed=92)
+    return coordinator, ps, sup
+
+
+class TestCoordination:
+    def test_registration(self):
+        coordinator, __, __ = make_coordinator()
+        assert coordinator.views == ("min_cost", "region_counts")
+        with pytest.raises(ValueError, match="already registered"):
+            coordinator.add_view(
+                ViewConfig(
+                    name="min_cost",
+                    query=make_paper_spec(),
+                    policy=NaivePolicy(),
+                    cost_functions=COSTS,
+                    limit=600.0,
+                    scheduled_aliases=("PS", "S"),
+                )
+            )
+
+    def test_shared_clock_steps_every_view(self):
+        coordinator, ps, sup = make_coordinator()
+        for t in range(10):
+            ps.apply(6)
+            sup.apply(1)
+            records = coordinator.step(t)
+            assert set(records) == {"min_cost", "region_counts"}
+            assert all(r.t == t for r in records.values())
+
+    def test_views_lag_independently(self):
+        coordinator, ps, sup = make_coordinator()
+        for t in range(8):
+            ps.apply(6)
+            sup.apply(1)
+            coordinator.step(t)
+        # Different policies, different constraints: different pending
+        # states are expected, and each view matches its own recompute.
+        for name, maintainer in coordinator.iter_maintainers():
+            assert maintainer.view.contents() == maintainer.view.recompute()
+
+    def test_refresh_all(self):
+        coordinator, ps, sup = make_coordinator()
+        ps.apply(10)
+        sup.apply(2)
+        records = coordinator.refresh()
+        assert set(records) == {"min_cost", "region_counts"}
+        for __, maintainer in coordinator.iter_maintainers():
+            assert not maintainer.view.is_stale()
+
+    def test_refresh_subset(self):
+        coordinator, ps, sup = make_coordinator()
+        ps.apply(4)
+        sup.apply(1)
+        coordinator.refresh(names=["min_cost"])
+        assert not coordinator.maintainer("min_cost").view.is_stale()
+        # The other view has not even pulled yet; force a pull to see lag.
+        other = coordinator.maintainer("region_counts").view
+        other.deltas["S"].pull()
+        assert other.is_stale()
+
+    def test_cost_accounting(self):
+        coordinator, ps, sup = make_coordinator()
+        for t in range(6):
+            ps.apply(6)
+            sup.apply(1)
+            coordinator.step(t)
+        coordinator.refresh()
+        breakdown = coordinator.cost_breakdown()
+        assert set(breakdown) == {"min_cost", "region_counts"}
+        assert coordinator.total_cost_ms() == pytest.approx(
+            sum(breakdown.values())
+        )
+        assert coordinator.total_cost_ms() > 0
+
+    def test_remove_view(self):
+        coordinator, __, __ = make_coordinator()
+        coordinator.remove_view("region_counts")
+        assert coordinator.views == ("min_cost",)
+        with pytest.raises(KeyError):
+            coordinator.remove_view("region_counts")
+        with pytest.raises(KeyError):
+            coordinator.maintainer("region_counts")

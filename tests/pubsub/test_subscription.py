@@ -1,0 +1,59 @@
+"""Validation tests for subscription construction."""
+
+import pytest
+
+from repro.core.costfuncs import LinearCost
+from repro.core.naive import NaivePolicy
+from repro.pubsub import EveryNSteps, Subscription
+from tests.conftest import make_paper_spec
+
+
+def make(**overrides):
+    defaults = dict(
+        name="s",
+        query=make_paper_spec(),
+        condition=EveryNSteps(5),
+        policy=NaivePolicy(),
+        cost_functions=(
+            LinearCost(1.0), LinearCost(1.0),
+            LinearCost(1.0), LinearCost(1.0),
+        ),
+        limit=100.0,
+    )
+    defaults.update(overrides)
+    return Subscription(**defaults)
+
+
+class TestValidation:
+    def test_valid_defaults(self):
+        sub = make()
+        assert sub.name == "s"
+        assert sub.metadata == {}
+
+    def test_name_required(self):
+        with pytest.raises(ValueError, match="name"):
+            make(name="")
+
+    def test_positive_limit_required(self):
+        with pytest.raises(ValueError, match="guarantee"):
+            make(limit=0.0)
+
+    def test_cost_function_count_vs_all_aliases(self):
+        with pytest.raises(ValueError, match="one cost function"):
+            make(cost_functions=(LinearCost(1.0),))
+
+    def test_cost_function_count_vs_scheduled_aliases(self):
+        sub = make(
+            scheduled_aliases=("PS", "S"),
+            cost_functions=(LinearCost(1.0), LinearCost(1.0)),
+        )
+        assert sub.scheduled_aliases == ("PS", "S")
+        with pytest.raises(ValueError, match="one cost function"):
+            make(
+                scheduled_aliases=("PS",),
+                cost_functions=(LinearCost(1.0), LinearCost(1.0)),
+            )
+
+    def test_metadata_carried(self):
+        sub = make(metadata={"owner": "analyst-7"})
+        assert sub.metadata["owner"] == "analyst-7"

@@ -1,0 +1,77 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.errors import SqlError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_keywords_normalized(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        assert values("PartSupp ps") == ["PartSupp", "ps"]
+        assert tokenize("PartSupp")[0].kind == "NAME"
+
+    def test_qualified_name_is_one_token(self):
+        tokens = tokenize("S.suppkey")
+        assert tokens[0] == Token("NAME", "S.suppkey", 0)
+
+    def test_keyword_like_qualified_name_stays_name(self):
+        # "min.x" is a qualified name, not the MIN keyword.
+        assert tokenize("min.x")[0].kind == "NAME"
+        assert tokenize("min")[0].kind == "KEYWORD"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("NUMBER", "42"),
+            ("NUMBER", "3.14"),
+        ]
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'MIDDLE EAST' 'it''s'")
+        assert tokens[0].value == "'MIDDLE EAST'"
+        assert tokens[1].value == "'it''s'"
+
+    def test_operators(self):
+        assert values("= != <> < <= > >= + - /") == [
+            "=", "!=", "<>", "<", "<=", ">", ">=", "+", "-", "/",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("(*, )")[:-1] == ["LPAREN", "STAR", "COMMA", "RPAREN"]
+
+    def test_comments_skipped(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_junk_rejected_with_position(self):
+        with pytest.raises(SqlError) as excinfo:
+            tokenize("a ; b")
+        assert "';'" in str(excinfo.value)
+        assert excinfo.value.position == 2
+
+    def test_is_keyword_helper(self):
+        token = tokenize("AND")[0]
+        assert token.is_keyword("AND", "OR")
+        assert not token.is_keyword("OR")
+        assert not tokenize("x")[0].is_keyword("AND")

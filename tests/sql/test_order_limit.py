@@ -1,0 +1,77 @@
+"""SQL ORDER BY / LIMIT parsing and execution."""
+
+import pytest
+
+from repro.sql import parse_query, parse_select
+from repro.sql.errors import SqlError
+from tests.conftest import make_tpcr_db
+
+
+class TestParsing:
+    def test_order_by_defaults_ascending(self):
+        stmt = parse_select("SELECT * FROM t ORDER BY t.a")
+        assert stmt.order_by == [("t.a", False)]
+
+    def test_order_by_directions(self):
+        stmt = parse_select(
+            "SELECT * FROM t ORDER BY t.a DESC, t.b ASC, t.c"
+        )
+        assert stmt.order_by == [("t.a", True), ("t.b", False), ("t.c", False)]
+
+    def test_limit(self):
+        stmt = parse_select("SELECT * FROM t LIMIT 10")
+        assert stmt.limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlError, match="integer"):
+            parse_select("SELECT * FROM t LIMIT 1.5")
+
+    def test_clause_order_enforced(self):
+        with pytest.raises(SqlError):
+            parse_select("SELECT * FROM t LIMIT 5 ORDER BY t.a")
+
+
+class TestDistinct:
+    def test_parse_flag(self):
+        assert parse_select("SELECT DISTINCT t.a FROM t").distinct
+        assert not parse_select("SELECT t.a FROM t").distinct
+
+    def test_distinct_with_aggregate_rejected(self):
+        with pytest.raises(SqlError, match="DISTINCT"):
+            parse_select("SELECT DISTINCT MIN(t.a) FROM t")
+
+    def test_execution_deduplicates(self):
+        db = make_tpcr_db()
+        spec = parse_query("SELECT DISTINCT S.nationkey FROM supplier S")
+        rows = db.execute(spec).rows
+        assert len(rows) == len(set(rows))
+        plain = db.execute(parse_query("SELECT S.nationkey FROM supplier S"))
+        assert set(rows) == set(plain.rows)
+        assert len(plain.rows) > len(rows)  # suppliers share nations
+
+
+class TestExecution:
+    def test_top_k_query(self):
+        db = make_tpcr_db()
+        spec = parse_query(
+            "SELECT PS.partkey, PS.supplycost FROM partsupp PS "
+            "ORDER BY PS.supplycost DESC LIMIT 5"
+        )
+        rows = db.execute(spec).rows
+        assert len(rows) == 5
+        costs = [c for __, c in rows]
+        assert costs == sorted(costs, reverse=True)
+        top = max(row[3] for row in db.table("partsupp").live_rows())
+        assert costs[0] == top
+
+    def test_grouped_ordered(self):
+        db = make_tpcr_db()
+        spec = parse_query(
+            "SELECT COUNT(S.suppkey) FROM supplier S, nation N "
+            "WHERE S.nationkey = N.nationkey "
+            "GROUP BY N.name ORDER BY count DESC LIMIT 3"
+        )
+        rows = db.execute(spec).rows
+        counts = [c for __, c in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert len(rows) <= 3

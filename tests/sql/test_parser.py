@@ -1,0 +1,143 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.engine.expr import BinOp, BoolOp, ColumnRef, Comparison, Const, Not
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse_select
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert stmt.projection is None
+        assert stmt.aggregate is None
+
+    def test_column_list(self):
+        stmt = parse_select("SELECT a.x, a.y FROM t a")
+        assert stmt.projection == ["a.x", "a.y"]
+
+    def test_aggregate(self):
+        stmt = parse_select("SELECT MIN(a.x) FROM t a")
+        assert stmt.aggregate.func == "min"
+        assert isinstance(stmt.aggregate.value, ColumnRef)
+
+    def test_aggregate_over_expression(self):
+        stmt = parse_select("SELECT SUM(h.shares * p.price) FROM h, p")
+        assert isinstance(stmt.aggregate.value, BinOp)
+        assert stmt.aggregate.value.op == "*"
+
+    def test_count_star(self):
+        stmt = parse_select("SELECT COUNT(*) FROM t")
+        assert stmt.aggregate.func == "count"
+        assert isinstance(stmt.aggregate.value, Const)
+
+    def test_min_star_rejected(self):
+        with pytest.raises(SqlError, match=r"MIN\(\*\)"):
+            parse_select("SELECT MIN(*) FROM t")
+
+
+class TestFromClause:
+    def test_implicit_alias(self):
+        stmt = parse_select("SELECT * FROM partsupp")
+        assert stmt.tables == [("partsupp", "partsupp")]
+
+    def test_as_alias(self):
+        stmt = parse_select("SELECT * FROM partsupp AS PS")
+        assert stmt.tables == [("partsupp", "PS")]
+
+    def test_bare_alias(self):
+        stmt = parse_select("SELECT * FROM partsupp PS, supplier S")
+        assert stmt.tables == [("partsupp", "PS"), ("supplier", "S")]
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(SqlError, match="duplicate table alias"):
+            parse_select("SELECT * FROM t a, u a")
+
+    def test_qualified_table_name_rejected(self):
+        with pytest.raises(SqlError, match="cannot be qualified"):
+            parse_select("SELECT * FROM db.t")
+
+
+class TestWhereClause:
+    def test_simple_comparison(self):
+        stmt = parse_select("SELECT * FROM t WHERE t.x = 5")
+        assert isinstance(stmt.where, Comparison)
+        assert stmt.where.op == "="
+
+    def test_diamond_normalized_to_neq(self):
+        stmt = parse_select("SELECT * FROM t WHERE t.x <> 5")
+        assert stmt.where.op == "!="
+
+    def test_and_or_precedence(self):
+        stmt = parse_select(
+            "SELECT * FROM t WHERE t.a = 1 OR t.b = 2 AND t.c = 3"
+        )
+        # OR binds looser than AND.
+        assert isinstance(stmt.where, BoolOp)
+        assert stmt.where.op == "or"
+        assert isinstance(stmt.where.operands[1], BoolOp)
+        assert stmt.where.operands[1].op == "and"
+
+    def test_parentheses_override(self):
+        stmt = parse_select(
+            "SELECT * FROM t WHERE (t.a = 1 OR t.b = 2) AND t.c = 3"
+        )
+        assert stmt.where.op == "and"
+
+    def test_not(self):
+        stmt = parse_select("SELECT * FROM t WHERE NOT t.a = 1")
+        assert isinstance(stmt.where, Not)
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_select("SELECT * FROM t WHERE t.a + t.b * 2 > 10")
+        comparison = stmt.where
+        assert comparison.op == ">"
+        add = comparison.left
+        assert isinstance(add, BinOp) and add.op == "+"
+        assert isinstance(add.right, BinOp) and add.right.op == "*"
+
+    def test_string_literal_unescaped(self):
+        stmt = parse_select("SELECT * FROM t WHERE t.name = 'it''s'")
+        assert stmt.where.right.value == "it's"
+
+    def test_numeric_literals_typed(self):
+        stmt = parse_select("SELECT * FROM t WHERE t.a = 5 AND t.b = 5.5")
+        first, second = stmt.where.operands
+        assert first.right.value == 5 and isinstance(first.right.value, int)
+        assert second.right.value == 5.5
+
+
+class TestGroupBy:
+    def test_group_by(self):
+        stmt = parse_select(
+            "SELECT SUM(t.x) FROM t GROUP BY t.g, t.h"
+        )
+        assert stmt.group_by == ["t.g", "t.h"]
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SqlError, match="requires an aggregate"):
+            parse_select("SELECT t.x FROM t GROUP BY t.g")
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SqlError, match="expected FROM"):
+            parse_select("SELECT *")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError, match="expected EOF"):
+            parse_select("SELECT * FROM t extra nonsense")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(SqlError, match="expected RPAREN"):
+            parse_select("SELECT * FROM t WHERE (t.a = 1")
+
+    def test_missing_expression(self):
+        with pytest.raises(SqlError, match="expected an expression"):
+            parse_select("SELECT * FROM t WHERE t.a =")
+
+    def test_error_renders_caret(self):
+        with pytest.raises(SqlError) as excinfo:
+            parse_select("SELECT * FROM t WHERE t.a = ,")
+        assert "^" in str(excinfo.value)

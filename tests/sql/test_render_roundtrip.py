@@ -1,0 +1,176 @@
+"""SQL rendering and parse/render round-trip property tests."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.engine.database import Database
+from repro.engine.expr import col, lit
+from repro.engine.query import (
+    AggregateSpec,
+    JoinSpec,
+    OrderSpec,
+    QuerySpec,
+)
+from repro.engine.types import ColumnType, Schema
+from repro.sql import parse_query, render_query
+from repro.sql.render import render_expression, render_literal
+from tests.conftest import make_tpcr_db
+
+
+class TestRenderLiteral:
+    def test_strings_escaped(self):
+        assert render_literal("it's") == "'it''s'"
+
+    def test_numbers(self):
+        assert render_literal(5) == "5"
+        assert render_literal(2.5) == "2.5"
+
+    def test_negative_via_subtraction(self):
+        assert render_literal(-3) == "(0 - 3)"
+
+    def test_unrenderable(self):
+        with pytest.raises(TypeError):
+            render_literal(None)
+        with pytest.raises(TypeError):
+            render_literal(True)
+        with pytest.raises(TypeError):
+            render_literal(float("nan"))
+
+
+class TestRenderExpression:
+    def test_nested(self):
+        expr = (col("t.a") + lit(1)) * lit(2) > col("t.b")
+        text = render_expression(expr)
+        assert text == "(((t.a + 1) * 2) > t.b)"
+
+
+class TestRenderQuery:
+    def test_paper_query_roundtrip(self):
+        sql = """
+            SELECT MIN(PS.supplycost)
+            FROM partsupp AS PS, supplier AS S, nation AS N, region AS R
+            WHERE S.suppkey = PS.suppkey AND S.nationkey = N.nationkey
+              AND N.regionkey = R.regionkey AND R.name = 'MIDDLE EAST'
+        """
+        spec = parse_query(sql)
+        reparsed = parse_query(render_query(spec))
+        db = make_tpcr_db()
+        assert db.execute(spec).scalar() == db.execute(reparsed).scalar()
+
+    def test_all_clauses_roundtrip(self):
+        spec = QuerySpec(
+            base_alias="S",
+            base_table="supplier",
+            joins=(JoinSpec("N", "nation", "S.nationkey", "nationkey"),),
+            filters=(col("S.acctbal") > lit(0.0),),
+            projection=("S.name", "N.name"),
+            order_by=(OrderSpec("S.name", descending=True),),
+            limit=5,
+            distinct=True,
+        )
+        text = render_query(spec)
+        assert "DISTINCT" in text and "ORDER BY" in text and "LIMIT 5" in text
+        reparsed = parse_query(text)
+        db = make_tpcr_db()
+        assert db.execute(spec).rows == db.execute(reparsed).rows
+
+    def test_grouped_aggregate_roundtrip(self):
+        spec = QuerySpec(
+            base_alias="S",
+            base_table="supplier",
+            joins=(JoinSpec("N", "nation", "S.nationkey", "nationkey"),),
+            aggregate=AggregateSpec(
+                func="count", value=col("S.suppkey"), group_by=("N.name",)
+            ),
+        )
+        reparsed = parse_query(render_query(spec))
+        db = make_tpcr_db()
+        assert sorted(db.execute(spec).rows) == sorted(
+            db.execute(reparsed).rows
+        )
+
+
+# ----------------------------------------------------------------------
+# Property: parse(render(spec)) executes identically to spec
+# ----------------------------------------------------------------------
+
+_COLUMNS = ("R.k", "R.a", "S.k", "S.b")
+
+
+@st.composite
+def random_specs(draw):
+    filters = []
+    for __ in range(draw(st.integers(0, 2))):
+        left = col(draw(st.sampled_from(_COLUMNS)))
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        right = lit(draw(st.integers(-3, 3)))
+        from repro.engine.expr import Comparison
+
+        filters.append(Comparison(op, left, right))
+    use_aggregate = draw(st.booleans())
+    aggregate = None
+    projection = None
+    distinct = False
+    order_by = ()
+    if use_aggregate:
+        aggregate = AggregateSpec(
+            func=draw(st.sampled_from(["min", "max", "sum", "count"])),
+            value=col(draw(st.sampled_from(_COLUMNS))),
+        )
+    else:
+        columns = draw(
+            st.lists(
+                st.sampled_from(_COLUMNS), min_size=1, max_size=3,
+                unique=True,
+            )
+        )
+        projection = tuple(columns)
+        distinct = draw(st.booleans())
+        if draw(st.booleans()):
+            order_by = (
+                OrderSpec(
+                    column=draw(st.sampled_from(columns)),
+                    descending=draw(st.booleans()),
+                ),
+            )
+    return QuerySpec(
+        base_alias="R",
+        base_table="r",
+        joins=(JoinSpec("S", "s", "R.k", "k"),),
+        filters=tuple(filters),
+        projection=projection,
+        aggregate=aggregate,
+        order_by=order_by,
+        limit=draw(st.one_of(st.none(), st.integers(0, 10))),
+        distinct=distinct,
+    )
+
+
+@given(
+    spec=random_specs(),
+    r=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(-3, 3)), max_size=8
+    ),
+    s=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(-3, 3)), max_size=6
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_execution_equivalence(spec, r, s):
+    db = Database()
+    table_r = db.create_table("r", Schema.of(k=ColumnType.INT, a=ColumnType.INT))
+    table_s = db.create_table("s", Schema.of(k=ColumnType.INT, b=ColumnType.INT))
+    for row in r:
+        table_r.insert(row)
+    for row in s:
+        table_s.insert(row)
+    reparsed = parse_query(render_query(spec))
+    original = db.execute(spec)
+    roundtripped = db.execute(reparsed)
+    if spec.order_by or spec.limit is not None:
+        assert original.rows == roundtripped.rows
+    else:
+        assert sorted(original.rows, key=repr) == sorted(
+            roundtripped.rows, key=repr
+        )

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestSqlCommand:
+    def test_query_executes(self, capsys):
+        code = main(
+            [
+                "sql",
+                "SELECT COUNT(*) FROM supplier S",
+                "--scale", "0.002",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "20" in out  # 20 suppliers at SF 0.002
+        assert "simulated cost" in out
+
+    def test_explain(self, capsys):
+        code = main(
+            [
+                "sql",
+                "SELECT * FROM partsupp PS, supplier S "
+                "WHERE PS.suppkey = S.suppkey",
+                "--scale", "0.002",
+                "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SeqScan(partsupp" in out
+        assert "IndexNestedLoopJoin(supplier" in out
+
+    def test_sql_error_reported(self, capsys):
+        code = main(["sql", "SELECT FROM nothing", "--scale", "0.002"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "SQL error" in err
+
+    def test_max_rows_truncation(self, capsys):
+        code = main(
+            [
+                "sql",
+                "SELECT PS.partkey FROM partsupp PS",
+                "--scale", "0.002",
+                "--max-rows", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "more rows" in out
+
+
+class TestGenerateCommand:
+    def test_writes_tbl_files(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--scale", "0.002",
+                "--tables", "region", "nation",
+                "--out", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "region.tbl").exists()
+        assert "nation.tbl: 25 rows" in out
+
+
+class TestCalibrateCommand:
+    def test_prints_fits(self, capsys):
+        code = main(
+            ["calibrate", "--scale", "0.002", "--batches", "5", "10", "20"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "f_PS(k) samples" in out
+        assert "f_S(k) samples" in out
+        assert "fit:" in out
+
+
+class TestTimelineCommand:
+    def test_renders_timelines_and_comparison(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--scale", "0.002",
+                "--horizon", "40",
+                "--policies", "naive", "online",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "=== NAIVE ===" in out
+        assert "=== ONLINE ===" in out
+        assert "flush[" in out
+        assert "vs best" in out
+
+    def test_adapt_and_optimal_variants(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--scale", "0.002",
+                "--horizon", "30",
+                "--policies", "optimal", "adapt",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OPT_LGM" in out and "ADAPT" in out
+
+
+class TestExperimentCommand:
+    def test_bounds_experiment(self, capsys):
+        code = main(["experiment", "bounds"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Bounds study" in out
+
+    def test_fig1_experiment_small_scale(self, capsys):
+        code = main(["experiment", "fig1", "--scale", "0.002"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 1" in out

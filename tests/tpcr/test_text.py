@@ -1,0 +1,84 @@
+"""Tests for the dbgen-style text generators."""
+
+import random
+
+import pytest
+
+from repro.tpcr import text
+
+
+@pytest.fixture
+def rng():
+    return random.Random(123)
+
+
+class TestFixedTables:
+    def test_five_regions(self):
+        assert len(text.REGIONS) == 5
+        assert "MIDDLE EAST" in text.REGIONS
+
+    def test_twenty_five_nations_with_valid_regions(self):
+        assert len(text.NATIONS) == 25
+        for name, regionkey in text.NATIONS:
+            assert 0 <= regionkey < 5
+            assert name == name.upper()
+
+    def test_nation_names_unique(self):
+        names = [n for n, __ in text.NATIONS]
+        assert len(set(names)) == 25
+
+
+class TestGenerators:
+    def test_comment_word_counts(self, rng):
+        for __ in range(20):
+            words = text.comment(rng, 3, 6).split()
+            assert 3 <= len(words) <= 6
+
+    def test_v_string_lengths(self, rng):
+        for __ in range(20):
+            s = text.v_string(rng, 10, 40)
+            assert 10 <= len(s) <= 40
+
+    def test_phone_format_encodes_nation(self, rng):
+        phone = text.phone(rng, nationkey=7)
+        country, a, b, c = phone.split("-")
+        assert country == "17"  # nationkey + 10
+        assert (len(a), len(b), len(c)) == (3, 3, 4)
+        assert all(part.isdigit() for part in (a, b, c))
+
+    def test_part_name_five_distinct_colours(self, rng):
+        words = text.part_name(rng).split()
+        assert len(words) == 5
+        assert len(set(words)) == 5
+
+    def test_part_type_three_components(self, rng):
+        # Components come from fixed vocabularies of 1-word terms, so a
+        # type is exactly three words.
+        assert len(text.part_type(rng).split()) == 3
+
+    def test_brand_format(self, rng):
+        for __ in range(10):
+            brand = text.part_brand(rng)
+            assert brand.startswith("Brand#")
+            assert len(brand) == 8
+            assert brand[6] in "12345" and brand[7] in "12345"
+
+    def test_container_two_components(self, rng):
+        assert len(text.part_container(rng).split()) == 2
+
+    def test_clerk_scales_with_sf(self, rng):
+        small = {text.clerk(rng, 0.001) for __ in range(30)}
+        assert small == {"Clerk#000000001"}  # max(1, 0.001*1000) = 1 clerk
+        big = {text.clerk(rng, 1.0) for __ in range(30)}
+        assert len(big) > 1
+
+    def test_segments_and_priorities_from_spec_lists(self, rng):
+        assert text.market_segment(rng) in (
+            "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"
+        )
+        assert text.order_priority(rng)[0] in "12345"
+
+    def test_determinism_per_seed(self):
+        a = text.comment(random.Random(9))
+        b = text.comment(random.Random(9))
+        assert a == b

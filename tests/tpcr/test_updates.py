@@ -1,0 +1,87 @@
+"""Tests for the paper's update streams."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.tpcr.gen import load_tpcr
+from repro.tpcr.updates import PartSuppCostUpdater, SupplierNationUpdater
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    load_tpcr(database, scale=0.002)
+    return database
+
+
+class TestPartSuppCostUpdater:
+    def test_updates_supplycost_only(self, db):
+        ps = db.table("partsupp")
+        updater = PartSuppCostUpdater(ps, seed=1)
+        event = updater.apply_one()
+        assert event.kind == "update"
+        old, new = event.old_values, event.new_values
+        assert old[3] != new[3] or old == new  # supplycost changed (pos 3)
+        assert old[:3] == new[:3]
+        assert old[4] == new[4]
+        assert 1.00 <= new[3] <= 1000.00
+
+    def test_apply_k(self, db):
+        ps = db.table("partsupp")
+        updater = PartSuppCostUpdater(ps, seed=1)
+        before = ps.current_lsn
+        events = updater.apply(7)
+        assert len(events) == 7
+        assert ps.current_lsn == before + 7
+        assert ps.live_count == 1600  # updates preserve cardinality
+
+    def test_callable_interface(self, db):
+        updater = PartSuppCostUpdater(db.table("partsupp"), seed=1)
+        before = db.table("partsupp").current_lsn
+        updater(4)
+        assert db.table("partsupp").current_lsn == before + 4
+
+    def test_live_rid_tracking_survives_many_updates(self, db):
+        ps = db.table("partsupp")
+        updater = PartSuppCostUpdater(ps, seed=1)
+        updater.apply(3 * ps.live_count)  # every row updated ~3x on average
+        assert ps.live_count == 1600
+        # All tracked rids must still be live.
+        for rid in updater._live_rids:
+            assert ps.version(rid).xmax is None
+
+    def test_determinism(self, db):
+        db2 = Database()
+        load_tpcr(db2, scale=0.002)
+        e1 = PartSuppCostUpdater(db.table("partsupp"), seed=5).apply(5)
+        e2 = PartSuppCostUpdater(db2.table("partsupp"), seed=5).apply(5)
+        assert [e.new_values for e in e1] == [e.new_values for e in e2]
+
+    def test_negative_k_rejected(self, db):
+        updater = PartSuppCostUpdater(db.table("partsupp"), seed=1)
+        with pytest.raises(ValueError):
+            updater.apply(-1)
+
+    def test_empty_table_rejected(self):
+        db = Database()
+        load_tpcr(db, scale=0.002, tables=("region",))
+        from repro.engine.types import ColumnType, Schema
+
+        empty = db.create_table("empty", Schema.of(supplycost=ColumnType.FLOAT))
+        with pytest.raises(ValueError, match="empty"):
+            PartSuppCostUpdater(empty, seed=1)
+
+
+class TestSupplierNationUpdater:
+    def test_updates_nationkey_only(self, db):
+        updater = SupplierNationUpdater(db.table("supplier"), seed=2)
+        event = updater.apply_one()
+        old, new = event.old_values, event.new_values
+        assert old[:3] == new[:3]
+        assert old[4:] == new[4:]
+        assert 0 <= new[3] < 25
+
+    def test_cardinality_preserved(self, db):
+        sup = db.table("supplier")
+        SupplierNationUpdater(sup, seed=2).apply(50)
+        assert sup.live_count == 20
