@@ -5,11 +5,25 @@ matters as much as the timing.  ``report`` writes the formatted table to
 ``benchmarks/results/<name>.txt`` and mirrors it to the real stdout so it
 survives pytest's output capture (``pytest benchmarks/ --benchmark-only``
 then shows the reproduced tables inline, as EXPERIMENTS.md references).
+
+Alongside each ``.txt`` a machine-readable ``.json`` (same basename) is
+written with ``{name, params, metrics, wall_time_s}``:
+
+* ``params`` -- whatever the benchmark passes (scale factors, sweeps);
+* ``metrics`` -- the :mod:`repro.obs` registry snapshot of the run (the
+  ``conftest`` harness installs a recorder around every benchmark), so
+  node expansions, rows joined, batches flushed etc. are diffable;
+* ``wall_time_s`` -- the harness-measured wall time of the benchmarked
+  callable.
+
+Future PRs diff these files to track the perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any, Mapping
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -19,11 +33,32 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: from inside the benchmark would be swallowed.
 SESSION_REPORTS: list[tuple[str, str]] = []
 
+#: Observations from the most recent ``run_once`` call, keyed
+#: ``wall_time_s`` / ``metrics``; consumed (popped) by :func:`report` so
+#: one benchmark's numbers can never leak into the next report.
+LAST_RUN: dict[str, Any] = {}
 
-def report(name: str, text: str) -> Path:
-    """Persist one experiment's formatted output and queue it for display."""
+
+def report(
+    name: str, text: str, params: Mapping[str, Any] | None = None
+) -> Path:
+    """Persist one experiment's formatted output and queue it for display.
+
+    Writes ``<name>.txt`` (the human-readable table, as before) and
+    ``<name>.json`` (structured: params + obs metrics + wall time).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    payload = {
+        "name": name,
+        "params": dict(params or {}),
+        "metrics": LAST_RUN.pop("metrics", {}),
+        "wall_time_s": LAST_RUN.pop("wall_time_s", None),
+    }
+    json_path = RESULTS_DIR / f"{name}.json"
+    json_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     SESSION_REPORTS.append((name, text))
     return path

@@ -1,12 +1,16 @@
 """Figure 7: the four non-uniform arrival streams (SS/SU/FS/FU)."""
 
 from benchmarks._report import report
+from repro.experiments import common
 from repro.experiments.fig7_nonuniform import run_fig7
 
 
 def bench_fig7_nonuniform(run_once):
     result = run_once(run_fig7)
-    report("fig7_nonuniform", result.format())
+    report(
+        "fig7_nonuniform", result.format(),
+        params={"scale": common.DEFAULT_SCALE},
+    )
     # Paper shape: NAIVE loses on all four streams; ONLINE stays within a
     # modest factor of OPT_LGM.
     for naive, opt in zip(result.naive, result.opt_lgm):

@@ -8,18 +8,40 @@ parameters.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 
 @pytest.fixture
 def run_once(benchmark):
     """Run ``fn(*args, **kwargs)`` once under the benchmark clock and
-    return its result."""
+    return its result.
+
+    The run executes under a fresh :mod:`repro.obs` recorder (metrics
+    only -- no span buffering), and its wall time plus metrics snapshot
+    are staged in ``benchmarks._report.LAST_RUN`` for the benchmark's
+    ``report(...)`` call to fold into ``results/<name>.json``.
+    """
 
     def runner(fn, *args, **kwargs):
-        return benchmark.pedantic(
-            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        from benchmarks import _report
+        from repro import obs
+
+        recorder = obs.Recorder(trace=False)
+        obs.install(recorder)
+        start = time.perf_counter()
+        try:
+            result = benchmark.pedantic(
+                fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
+        finally:
+            obs.install(None)
+        _report.LAST_RUN["wall_time_s"] = round(
+            time.perf_counter() - start, 4
         )
+        _report.LAST_RUN["metrics"] = recorder.registry.snapshot()
+        return result
 
     return runner
 

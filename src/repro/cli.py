@@ -18,6 +18,22 @@ Commands
 ``sql``
     Run a SQL query against a freshly loaded TPC-R database; ``--explain``
     prints the physical plan instead of executing.
+
+Observability (any subcommand)
+------------------------------
+
+``--metrics``
+    Install a :mod:`repro.obs` recorder for the run and print its metrics
+    summary table on exit.
+
+``--trace FILE``
+    Additionally record nested wall-clock spans and export the run as
+    Chrome-trace-compatible JSONL (view in ``chrome://tracing`` or
+    Perfetto); implies ``--metrics``.  See ``docs/observability.md``.
+
+Both flags are accepted before or after the subcommand, and experiment
+names work as top-level shorthand: ``repro fig6 --trace out.jsonl`` is
+``repro experiment fig6 --trace out.jsonl``.
 """
 
 from __future__ import annotations
@@ -26,34 +42,69 @@ import argparse
 import sys
 from typing import Sequence
 
+EXPERIMENT_NAMES: tuple[str, ...] = (
+    "fig1", "intro", "fig4", "fig5", "fig6", "fig7",
+    "bounds", "ablations", "operator-asymmetry",
+    "online-bound", "three-way", "concavity",
+)
+
+
+def _obs_flags() -> argparse.ArgumentParser:
+    """Shared ``--trace``/``--metrics`` options, valid at any position.
+
+    One instance is attached to every subparser; the root gets its *own*
+    instance.  ``SUPPRESS`` defaults keep a subparser from clobbering a
+    value already parsed at the root (root-level ``set_defaults`` provides
+    the fallback) -- and the root must not share action objects with the
+    subparsers because ``set_defaults`` rewrites ``action.default`` in
+    place, which would silently replace the subparsers' ``SUPPRESS``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help=(
+            "record spans + metrics and write a Chrome-trace JSONL file "
+            "(implies --metrics)"
+        ),
+    )
+    parent.add_argument(
+        "--metrics",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="record metrics and print a summary table on exit",
+    )
+    return parent
+
 
 def build_parser() -> argparse.ArgumentParser:
+    obs_flags = _obs_flags()
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Asymmetric Batch Incremental View Maintenance (ICDE 2005) "
             "reproduction"
         ),
+        parents=[_obs_flags()],
     )
+    parser.set_defaults(trace=None, metrics=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
     experiment = sub.add_parser(
-        "experiment", help="run one paper experiment and print its table"
+        "experiment",
+        help="run one paper experiment and print its table",
+        parents=[obs_flags],
     )
-    experiment.add_argument(
-        "name",
-        choices=[
-            "fig1", "intro", "fig4", "fig5", "fig6", "fig7",
-            "bounds", "ablations", "operator-asymmetry",
-            "online-bound", "three-way", "concavity",
-        ],
-    )
+    experiment.add_argument("name", choices=list(EXPERIMENT_NAMES))
     experiment.add_argument(
         "--scale", type=float, default=0.01, help="TPC-R scale factor"
     )
 
     calibrate = sub.add_parser(
-        "calibrate", help="measure the paper view's batch cost functions"
+        "calibrate",
+        help="measure the paper view's batch cost functions",
+        parents=[obs_flags],
     )
     calibrate.add_argument("--scale", type=float, default=0.01)
     calibrate.add_argument(
@@ -65,7 +116,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     generate = sub.add_parser(
-        "generate", help="emit TPC-R tables as dbgen-style .tbl files"
+        "generate",
+        help="emit TPC-R tables as dbgen-style .tbl files",
+        parents=[obs_flags],
     )
     generate.add_argument("--scale", type=float, default=0.01)
     generate.add_argument("--seed", type=int, default=19721212)
@@ -77,7 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", required=True, help="output directory")
 
     sql = sub.add_parser(
-        "sql", help="run a SQL query against a fresh TPC-R database"
+        "sql",
+        help="run a SQL query against a fresh TPC-R database",
+        parents=[obs_flags],
     )
     sql.add_argument("query", help="the SELECT statement")
     sql.add_argument("--scale", type=float, default=0.01)
@@ -96,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
             "visualize maintenance plans on the paper's workload: ASCII "
             "backlog timeline per policy plus a comparison table"
         ),
+        parents=[obs_flags],
     )
     timeline.add_argument("--scale", type=float, default=0.01)
     timeline.add_argument("--horizon", type=int, default=200)
@@ -109,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in EXPERIMENT_NAMES:
+        # Shorthand: ``repro fig6 ...`` == ``repro experiment fig6 ...``.
+        argv = ["experiment", *argv]
     args = build_parser().parse_args(argv)
     handler = {
         "experiment": _run_experiment,
@@ -117,7 +177,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sql": _run_sql,
         "timeline": _run_timeline,
     }[args.command]
-    return handler(args)
+    if not (args.trace or args.metrics):
+        return handler(args)
+    return _run_observed(handler, args)
+
+
+def _run_observed(handler, args) -> int:
+    """Run ``handler`` under a fresh recorder; report metrics/trace on exit.
+
+    The recorder wraps the *entire* subcommand, so everything the run does
+    -- calibration, planning, simulation, live maintenance -- lands in one
+    registry and one trace file.  Reports are emitted even when the
+    handler raises, so a failed run still leaves its evidence behind.
+    """
+    from repro import obs
+
+    if args.trace:
+        try:
+            # Fail fast: a mistyped destination should surface now, not
+            # after minutes of experiment whose trace is then lost.
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return 2
+
+    recorder = obs.Recorder(trace=bool(args.trace))
+    obs.install(recorder)
+    try:
+        with obs.trace("cli.command", command=args.command):
+            return handler(args)
+    finally:
+        obs.install(None)
+        print("\n" + recorder.summary_table())
+        if args.trace:
+            count = recorder.write_trace(args.trace)
+            print(f"[obs] wrote {count} trace events to {args.trace}")
 
 
 # ----------------------------------------------------------------------

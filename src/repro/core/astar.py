@@ -38,8 +38,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.actions import enumerate_greedy_minimal_actions
 from repro.core.plan import Plan
 from repro.core.problem import (
@@ -58,13 +60,24 @@ class AStarResult:
     """Outcome of :func:`find_optimal_lgm_plan`.
 
     ``expanded`` and ``generated`` node counts feed the heuristic-quality
-    ablation (A* vs Dijkstra) in ``repro.experiments.ablations``.
+    ablation (A* vs Dijkstra) in ``repro.experiments.ablations``; they are
+    also registered as ``astar.expanded`` / ``astar.generated`` counters in
+    the :mod:`repro.obs` metrics registry (via :meth:`register_metrics`),
+    so any observed run reports search effort uniformly alongside the
+    engine and simulator metrics.
     """
 
     plan: Plan
     cost: float
     expanded: int
     generated: int
+
+    def register_metrics(self) -> None:
+        """Fold the search statistics into the active metrics registry."""
+        obs.counter("astar.searches")
+        obs.counter("astar.expanded", self.expanded)
+        obs.counter("astar.generated", self.generated)
+        obs.observe("astar.plan_cost", self.cost)
 
 
 def _heuristic(node: Node, problem: ProblemInstance) -> float:
@@ -134,8 +147,14 @@ def find_optimal_lgm_plan(problem: ProblemInstance, use_heuristic: bool = True) 
     source: Node = (-1, zero_vector(problem.n))
     destination: Node = (problem.horizon, zero_vector(problem.n))
 
+    heuristic_evals = 0
+
     def h(node: Node) -> float:
-        return _heuristic(node, problem) if use_heuristic else 0.0
+        nonlocal heuristic_evals
+        if not use_heuristic:
+            return 0.0
+        heuristic_evals += 1
+        return _heuristic(node, problem)
 
     counter = itertools.count()  # tie-breaker for heap stability
     g: dict[Node, float] = {source: 0.0}
@@ -144,30 +163,62 @@ def find_optimal_lgm_plan(problem: ProblemInstance, use_heuristic: bool = True) 
     closed: set[Node] = set()
     expanded = 0
     generated = 1
+    heap_peak = 1
+    inconsistencies = 0
+    started = time.perf_counter()
 
-    while open_heap:
-        __, __, node = heapq.heappop(open_heap)
-        if node in closed:
-            continue  # stale heap entry
-        if node == destination:
-            plan = _reconstruct_plan(parent, destination, problem)
-            plan.check_valid(problem)
-            return AStarResult(
-                plan=plan, cost=g[node], expanded=expanded, generated=generated
-            )
-        closed.add(node)
-        expanded += 1
-        for successor, weight in _expand(node, problem):
-            if successor in closed:
-                continue
-            tentative = g[node] + weight
-            if tentative < g.get(successor, float("inf")) - 1e-12:
-                g[successor] = tentative
-                parent[successor] = node
-                heapq.heappush(
-                    open_heap, (tentative + h(successor), next(counter), successor)
+    with obs.trace(
+        "astar.search", horizon=problem.horizon, n=problem.n,
+        heuristic=use_heuristic,
+    ) as span:
+        while open_heap:
+            __, __, node = heapq.heappop(open_heap)
+            if node in closed:
+                continue  # stale heap entry
+            if node == destination:
+                plan = _reconstruct_plan(parent, destination, problem)
+                plan.check_valid(problem)
+                result = AStarResult(
+                    plan=plan, cost=g[node], expanded=expanded,
+                    generated=generated,
                 )
-                generated += 1
+                span.set(
+                    cost=result.cost, expanded=expanded, generated=generated,
+                )
+                result.register_metrics()
+                obs.counter("astar.heuristic_evals", heuristic_evals)
+                obs.counter(
+                    "astar.heuristic.inconsistency_detected", inconsistencies
+                )
+                obs.gauge_max("astar.heap_peak", heap_peak)
+                obs.observe(
+                    "astar.time_to_solution_ms",
+                    (time.perf_counter() - started) * 1e3,
+                )
+                return result
+            closed.add(node)
+            expanded += 1
+            for successor, weight in _expand(node, problem):
+                tentative = g[node] + weight
+                if successor in closed:
+                    # A consistent heuristic guarantees closed nodes hold
+                    # their optimal g; a strictly better path arriving now
+                    # is exactly where the paper's floor-based Lemma-7
+                    # heuristic misfires (see module docstring).  Counted,
+                    # never repaired: the rate heuristic keeps this at 0.
+                    if tentative < g[successor] - 1e-12:
+                        inconsistencies += 1
+                    continue
+                if tentative < g.get(successor, float("inf")) - 1e-12:
+                    g[successor] = tentative
+                    parent[successor] = node
+                    heapq.heappush(
+                        open_heap,
+                        (tentative + h(successor), next(counter), successor),
+                    )
+                    generated += 1
+                    if len(open_heap) > heap_peak:
+                        heap_peak = len(open_heap)
     raise ValueError("no valid LGM plan exists for this instance")
 
 
@@ -196,6 +247,7 @@ def check_heuristic_consistency(
                 bound = weight + _heuristic(successor, problem)
                 if h_node > bound + 1e-9:
                     violations.append((node, successor, h_node, bound))
+                    obs.counter("astar.heuristic.inconsistency_detected")
                 if successor not in seen:
                     seen.add(successor)
                     next_frontier.append(successor)

@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Sequence
 
+from repro import obs
 from repro.core.actions import enumerate_greedy_minimal_actions
 from repro.core.costfuncs import CostFunction
 from repro.core.policies import Policy
@@ -194,7 +195,9 @@ class OnlinePolicy(Policy):
         best_action: Vector | None = None
         best_score = float("inf")
         best_cost = float("inf")
+        scored = 0
         for action in enumerate_greedy_minimal_actions(pre_state, problem_view):
+            scored += 1
             cost = self.refresh_cost(action)
             post = tuple(s - a for s, a in zip(pre_state, action))
             horizon = self.estimator.time_to_full(
@@ -209,6 +212,17 @@ class OnlinePolicy(Policy):
         if best_action is None:
             raise RuntimeError(
                 f"no greedy minimal valid action for full state {pre_state}"
+            )
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.counter("online.decisions")
+            recorder.counter("online.candidates_scored", scored)
+            recorder.observe(
+                "online.predicted_time_to_full",
+                self.estimator.time_to_full(
+                    tuple(s - a for s, a in zip(pre_state, best_action)),
+                    self.cost_functions, self.limit,
+                ),
             )
         return best_action
 

@@ -39,7 +39,14 @@ def render_trace_timeline(
         raise ValueError(
             f"need {problem.n} table names, got {len(names)}"
         )
+    if max_rows < 1:
+        raise ValueError(f"max_rows must be >= 1, got {max_rows}")
     bucket = max(1, -(-steps // max_rows))  # ceil division
+    # Bucketing invariant (regression-tested for indivisible horizons in
+    # tests/core/test_report.py): ceil-division buckets cover every step
+    # exactly once -- the final row summarizes the shorter tail bucket when
+    # ``steps % bucket != 0``, including the forced refresh at t = horizon
+    # -- and ceil(steps / bucket) rows never exceed ``max_rows``.
     lines = [
         f"timeline (C = {problem.limit:.0f}; '#' = backlog as share of C; "
         f"marks = tables flushed; bucket = {bucket} step(s))",

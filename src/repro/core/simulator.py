@@ -13,6 +13,9 @@ the schedule came from a precomputed plan, an online policy, or a live run.
 
 from __future__ import annotations
 
+import time
+
+from repro import obs
 from repro.core.plan import Plan, PlanTrace
 from repro.core.policies import Policy, PolicyError
 from repro.core.problem import (
@@ -27,8 +30,11 @@ from repro.core.problem import (
 
 def execute_plan(problem: ProblemInstance, plan: Plan) -> PlanTrace:
     """Simulate a fully specified plan; validate it as a side effect."""
-    plan.check_valid(problem)
-    return _trace(problem, plan.actions, metadata={"source": "plan"})
+    with obs.trace("simulator.execute_plan", horizon=problem.horizon) as span:
+        plan.check_valid(problem)
+        trace = _trace(problem, plan.actions, metadata={"source": "plan"})
+        span.set(total_cost=trace.total_cost, actions=trace.action_count)
+    return trace
 
 
 def simulate_policy(
@@ -46,30 +52,57 @@ def simulate_policy(
     """
     if reset:
         policy.reset(problem.cost_functions, problem.limit)
+    recorder = obs.get_recorder()  # fetched once: per-step hooks gate on it
     state = zero_vector(problem.n)
     actions: list[Vector] = []
-    for t in range(problem.horizon + 1):
-        arrivals = problem.arrivals[t]
-        policy.observe(t, arrivals)
-        pre = add_vectors(state, arrivals)
-        if t == problem.horizon:
-            action = pre  # forced refresh
-        else:
-            action = tuple(int(x) for x in policy.decide(t, pre))
-        post = sub_vectors(pre, action)
-        if not is_nonnegative(post):
-            raise PolicyError(
-                f"{policy!r} at t={t}: action {action} exceeds backlog {pre}"
-            )
-        if t < problem.horizon and problem.is_full(post):
-            raise PolicyError(
-                f"{policy!r} at t={t}: post-action state {post} violates "
-                f"C={problem.limit}"
-            )
-        policy.record_action(t, action, problem.refresh_cost(action))
-        actions.append(action)
-        state = post
-    return _trace(problem, actions, metadata={"source": "policy", "policy": repr(policy)})
+    with obs.trace(
+        "simulator.simulate_policy", policy=repr(policy),
+        horizon=problem.horizon,
+    ) as span:
+        for t in range(problem.horizon + 1):
+            arrivals = problem.arrivals[t]
+            policy.observe(t, arrivals)
+            pre = add_vectors(state, arrivals)
+            if t == problem.horizon:
+                action = pre  # forced refresh
+            elif recorder is None:
+                action = tuple(int(x) for x in policy.decide(t, pre))
+            else:
+                decide_start = time.perf_counter()
+                action = tuple(int(x) for x in policy.decide(t, pre))
+                recorder.observe(
+                    "simulator.decide_ms",
+                    (time.perf_counter() - decide_start) * 1e3,
+                )
+            post = sub_vectors(pre, action)
+            if not is_nonnegative(post):
+                raise PolicyError(
+                    f"{policy!r} at t={t}: action {action} exceeds backlog {pre}"
+                )
+            if t < problem.horizon and problem.is_full(post):
+                raise PolicyError(
+                    f"{policy!r} at t={t}: post-action state {post} violates "
+                    f"C={problem.limit}"
+                )
+            cost = problem.refresh_cost(action)
+            policy.record_action(t, action, cost)
+            if recorder is not None:
+                recorder.counter("simulator.steps")
+                recorder.observe(
+                    "simulator.backlog", problem.refresh_cost(post)
+                )
+                if any(action):
+                    recorder.counter("simulator.actions")
+                    recorder.observe("simulator.action_size", sum(action))
+                    recorder.observe("simulator.action_cost", cost)
+            actions.append(action)
+            state = post
+        trace = _trace(
+            problem, actions,
+            metadata={"source": "policy", "policy": repr(policy)},
+        )
+        span.set(total_cost=trace.total_cost, actions=trace.action_count)
+    return trace
 
 
 def _trace(

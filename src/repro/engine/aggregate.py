@@ -23,6 +23,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Iterator, Sequence
 
+from repro import obs
 from repro.engine.costmodel import OperationCounter
 from repro.engine.errors import ExecutionError, SchemaError
 from repro.engine.expr import Expression, resolve_column
@@ -165,7 +166,10 @@ class _ExtremumState(AggregateState):
         self._count -= 1
         if value == self._extremum and value not in self._multiset:
             # The extremum left the multiset: recompute from survivors.
+            # This is the "MIN is not incrementally maintainable" event the
+            # paper blames for cost-curve irregularity -- worth a counter.
             self.recomputations += 1
+            obs.counter("engine.aggregate.extremum_recomputes")
             self._charge("sort_items", max(1, len(self._multiset)))
             self._extremum = (
                 self._choose(self._multiset) if self._multiset else None
@@ -251,13 +255,19 @@ class Aggregate(Operator):
 
     def __iter__(self) -> Iterator[tuple]:
         groups: dict[tuple, AggregateState] = {}
+        rows_in = 0
         for row in self.child:
+            rows_in += 1
             key = tuple(row[p] for p in self._group_positions)
             state = groups.get(key)
             if state is None:
                 state = make_aggregate_state(self.func, self.counter)
                 groups[key] = state
             state.insert(self._value_fn(row))
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.counter("engine.aggregate.rows_in", rows_in)
+            recorder.counter("engine.aggregate.groups_out", len(groups))
         if not groups and not self._group_positions:
             # Scalar aggregate over empty input.
             empty = make_aggregate_state(self.func, self.counter)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.engine.aggregate import Aggregate
 from repro.engine.costmodel import CostModel, OperationCounter
 from repro.engine.errors import SchemaError
@@ -90,6 +91,26 @@ class Database:
         """
         snapshot_lsns = snapshot_lsns or {}
         substitutions = substitutions or {}
+        recorder = obs.get_recorder()
+        if recorder is None:
+            return self._execute(spec, snapshot_lsns, substitutions)
+        sim_start = self.counter.elapsed_ms()
+        with obs.trace("engine.execute", base=spec.base_table) as span:
+            result = self._execute(spec, snapshot_lsns, substitutions)
+            span.set(rows_out=len(result.rows))
+        recorder.counter("engine.queries")
+        recorder.counter("engine.rows_out", len(result.rows))
+        recorder.observe(
+            "engine.execute.sim_ms", self.counter.elapsed_ms() - sim_start
+        )
+        return result
+
+    def _execute(
+        self,
+        spec: QuerySpec,
+        snapshot_lsns: Mapping[str, int],
+        substitutions: Mapping[str, Sequence[tuple]],
+    ) -> QueryResult:
         self.counter.charge("startups")
 
         plan = self._source(spec, spec.base_alias, spec.base_table,

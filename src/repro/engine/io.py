@@ -19,6 +19,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable
 
+from repro import obs
 from repro.engine.database import Database
 from repro.engine.errors import ExecutionError, SchemaError
 from repro.engine.table import Table
@@ -29,11 +30,14 @@ def dump_table(table: Table, path: str | Path) -> int:
     """Write a table's live rows as a ``.tbl`` file; returns rows written."""
     path = Path(path)
     count = 0
-    with path.open("w", encoding="utf-8") as handle:
-        for row in table.live_rows():
-            handle.write(_render_row(row, table.schema))
-            handle.write("\n")
-            count += 1
+    with obs.trace("engine.io.dump_table", table=table.name) as span:
+        with path.open("w", encoding="utf-8") as handle:
+            for row in table.live_rows():
+                handle.write(_render_row(row, table.schema))
+                handle.write("\n")
+                count += 1
+        span.set(rows=count)
+        obs.counter("engine.io.rows_written", count)
     return count
 
 
@@ -46,17 +50,20 @@ def load_table(
     """Create table ``name`` in ``db`` and populate it from a ``.tbl`` file."""
     path = Path(path)
     table = db.create_table(name, schema)
-    with path.open("r", encoding="utf-8") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            try:
-                table.insert(_parse_row(line, schema))
-            except (SchemaError, ValueError) as exc:
-                raise ExecutionError(
-                    f"{path}:{line_no}: bad row: {exc}"
-                ) from exc
+    with obs.trace("engine.io.load_table", table=name) as span:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                try:
+                    table.insert(_parse_row(line, schema))
+                except (SchemaError, ValueError) as exc:
+                    raise ExecutionError(
+                        f"{path}:{line_no}: bad row: {exc}"
+                    ) from exc
+        span.set(rows=table.live_count)
+        obs.counter("engine.io.rows_read", table.live_count)
     return table
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import obs
 from repro.engine.errors import SchemaError
 from repro.engine.expr import Expression, resolve_column
 from repro.engine.operators import Operator, merged_layout
@@ -40,12 +41,24 @@ class NestedLoopJoin(Operator):
 
     def __iter__(self) -> Iterator[tuple]:
         pred = self._predicate
-        for lrow in self.left:
-            for rrow in self._inner:
-                self.counter.charge("compares")
-                row = lrow + rrow
-                if pred is None or pred(row):
-                    yield row
+        rows_in = rows_out = 0
+        # Tallies accumulate in locals and flush once on exhaustion (or
+        # early close), keeping the per-row path free of obs calls.
+        try:
+            for lrow in self.left:
+                rows_in += 1
+                for rrow in self._inner:
+                    self.counter.charge("compares")
+                    row = lrow + rrow
+                    if pred is None or pred(row):
+                        rows_out += 1
+                        yield row
+        finally:
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                recorder.counter("engine.join.nl.rows_in", rows_in)
+                recorder.counter("engine.join.nl.rows_out", rows_out)
+                recorder.counter("engine.join.rows_out", rows_out)
 
 
 class IndexNestedLoopJoin(Operator):
@@ -83,11 +96,21 @@ class IndexNestedLoopJoin(Operator):
 
     def __iter__(self) -> Iterator[tuple]:
         pos = self._left_pos
-        for lrow in self.left:
-            self.counter.charge("index_probes")
-            for rrow in self.snapshot.lookup(self._right_column, lrow[pos]):
-                self.counter.charge("tuple_cpu")
-                yield lrow + rrow
+        probes = rows_out = 0
+        try:
+            for lrow in self.left:
+                probes += 1
+                self.counter.charge("index_probes")
+                for rrow in self.snapshot.lookup(self._right_column, lrow[pos]):
+                    self.counter.charge("tuple_cpu")
+                    rows_out += 1
+                    yield lrow + rrow
+        finally:
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                recorder.counter("engine.join.inl.probes", probes)
+                recorder.counter("engine.join.inl.rows_out", rows_out)
+                recorder.counter("engine.join.rows_out", rows_out)
 
 
 class HashJoin(Operator):
@@ -112,15 +135,31 @@ class HashJoin(Operator):
         self._left_pos = resolve_column(left_column, left.layout)
         right_pos = resolve_column(right_column, right.layout)
         self._table: dict = {}
+        build_rows = 0
         for rrow in right:
+            build_rows += 1
             self.counter.charge("hash_builds")
             self._table.setdefault(rrow[right_pos], []).append(rrow)
+        # The build is the setup cost ``b`` of the paper's cost model;
+        # surfacing it separately from probe-side output is what lets a
+        # trace show where a batch's time actually went.
+        obs.counter("engine.join.hash.build_rows", build_rows)
 
     def __iter__(self) -> Iterator[tuple]:
         pos = self._left_pos
         table = self._table
-        for lrow in self.left:
-            self.counter.charge("hash_probes")
-            for rrow in table.get(lrow[pos], ()):
-                self.counter.charge("tuple_cpu")
-                yield lrow + rrow
+        probes = rows_out = 0
+        try:
+            for lrow in self.left:
+                probes += 1
+                self.counter.charge("hash_probes")
+                for rrow in table.get(lrow[pos], ()):
+                    self.counter.charge("tuple_cpu")
+                    rows_out += 1
+                    yield lrow + rrow
+        finally:
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                recorder.counter("engine.join.hash.probes", probes)
+                recorder.counter("engine.join.hash.rows_out", rows_out)
+                recorder.counter("engine.join.rows_out", rows_out)

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from repro.engine.costmodel import OperationCounter
+from repro import obs
+from repro.engine.costmodel import ROWS_PER_PAGE, OperationCounter
 from repro.engine.errors import SchemaError
 from repro.engine.expr import Expression, resolve_column
 from repro.engine.snapshot import Snapshot
@@ -53,7 +54,15 @@ class SeqScan(Operator):
         }
 
     def __iter__(self) -> Iterator[tuple]:
-        self.counter.charge_pages(self.snapshot.count())
+        rows = self.snapshot.count()
+        self.counter.charge_pages(rows)
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.counter("engine.scan.scans")
+            recorder.counter("engine.scan.rows_out", rows)
+            recorder.counter(
+                "engine.scan.pages", -(-rows // ROWS_PER_PAGE) if rows else 0
+            )
         for row in self.snapshot.rows():
             self.counter.charge("tuple_cpu")
             yield row

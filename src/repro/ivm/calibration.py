@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.core.costfuncs import LinearCost, TabulatedCost, fit_linear
 from repro.ivm.maintenance import apply_batch
 from repro.ivm.view import MaterializedView
@@ -86,22 +87,25 @@ def measure_cost_function(
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     counter = view.database.counter
     samples: list[tuple[int, float]] = []
-    for k in batch_sizes:
-        if k <= 0:
-            continue
-        total = 0.0
-        for __ in range(repetitions):
-            mutate(k)
-            pulled = view.deltas[alias].pull()
-            if pulled != k:
-                raise RuntimeError(
-                    f"mutator applied {pulled} modifications, expected {k} "
-                    f"(did it touch another table?)"
-                )
-            with counter.window() as window:
-                apply_batch(view, alias, k)
-            total += window.elapsed_ms
-        samples.append((k, total / repetitions))
+    with obs.trace("ivm.calibrate", alias=alias) as span:
+        for k in batch_sizes:
+            if k <= 0:
+                continue
+            total = 0.0
+            for __ in range(repetitions):
+                mutate(k)
+                pulled = view.deltas[alias].pull()
+                if pulled != k:
+                    raise RuntimeError(
+                        f"mutator applied {pulled} modifications, expected "
+                        f"{k} (did it touch another table?)"
+                    )
+                with counter.window() as window:
+                    apply_batch(view, alias, k)
+                total += window.elapsed_ms
+            samples.append((k, total / repetitions))
+            obs.counter("ivm.calibration_samples")
+        span.set(samples=len(samples))
     if len(samples) < 2:
         raise ValueError("need at least two non-zero batch sizes to calibrate")
     return CalibrationResult(

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.core.costfuncs import CostFunction
 from repro.core.policies import Policy, PolicyError
 from repro.ivm.maintenance import apply_batch, full_refresh
@@ -184,10 +185,27 @@ class ViewMaintainer:
                 f"{self.policy!r} at t={t}: post-action state {post} "
                 f"violates C={self.limit}"
             )
+        recorder = obs.get_recorder()
         with self.view.database.counter.window() as window:
-            for alias, k in zip(self.aliases, action):
-                if k:
+            for alias, k, f in zip(self.aliases, action, self.cost_functions):
+                if not k:
+                    continue
+                if recorder is None:
                     apply_batch(self.view, alias, k)
+                    continue
+                # Per-alias flush: record batch size k against both the
+                # model's prediction f_i(k) and the engine-measured cost --
+                # the exact quantity the paper's cost functions model.
+                with self.view.database.counter.window() as flush_window:
+                    with obs.trace(
+                        "ivm.flush", alias=alias, k=k, forced=forced
+                    ) as span:
+                        apply_batch(self.view, alias, k)
+                    span.set(sim_ms=flush_window.elapsed_ms)
+                recorder.counter("ivm.flushes")
+                recorder.observe("ivm.flush.batch_size", k)
+                recorder.observe("ivm.flush.predicted_ms", f(k))
+                recorder.observe("ivm.flush.actual_ms", flush_window.elapsed_ms)
         predicted = self.predicted_refresh_cost(action)
         self.policy.record_action(t, action, predicted)
         record = StepRecord(

@@ -23,6 +23,7 @@ paper's ``f_i(k)``.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.engine.errors import ExecutionError
 from repro.engine.query import QuerySpec
 from repro.ivm.view import MaterializedView
@@ -59,6 +60,15 @@ def apply_batch(view: MaterializedView, alias: str, k: int) -> None:
             f"view {view.name!r}: asked to process {k} events from "
             f"{alias!r} but only {len(events)} pending"
         )
+    with obs.trace("ivm.apply_batch", alias=alias, k=k):
+        _apply_events(view, alias, events)
+    obs.counter("ivm.batches_applied")
+    obs.counter("ivm.modifications_applied", k)
+    delta.take(k)
+
+
+def _apply_events(view: MaterializedView, alias: str, events) -> None:
+    """Propagate one peeked batch of delta events into the view."""
     deleted = [e.old_values for e in events if e.old_values is not None]
     inserted = [e.new_values for e in events if e.new_values is not None]
 
@@ -87,8 +97,6 @@ def apply_batch(view: MaterializedView, alias: str, k: int) -> None:
     if derived_deletes is not None:
         layout = {n: i for i, n in enumerate(derived_deletes.columns)}
         view.apply_delete_rows(derived_deletes.rows, layout)
-
-    delta.take(k)
 
 
 def full_refresh(view: MaterializedView) -> None:

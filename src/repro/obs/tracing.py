@@ -1,0 +1,165 @@
+"""Span tracing with Chrome-trace-compatible JSONL export.
+
+A *span* is a named, timed region of execution -- ``astar.search``,
+``ivm.flush``, ``engine.execute`` -- opened with
+:func:`repro.obs.trace` as a context manager.  Spans nest: each records
+its parent (the innermost span open on the same thread), so a trace file
+reconstructs the full call structure of a run.
+
+Export is one JSON object per line (JSONL).  Every span becomes a Chrome
+"complete" event -- ``{"ph": "X", "ts": <start µs>, "dur": <µs>, ...}`` --
+so the file loads directly in ``chrome://tracing`` or
+https://ui.perfetto.dev (wrap the lines in a JSON array, or load the
+``.jsonl`` as-is in Perfetto which accepts newline-separated events).
+Metric values are appended as Chrome "counter" events (``"ph": "C"``).
+Extra fields (``id``, ``parent``) are ignored by the viewers but give
+tests and tools exact parenting without timestamp heuristics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+
+class Span:
+    """One open traced region; records itself on exit.
+
+    Created by :meth:`repro.obs.Recorder.span` -- not directly.  Extra
+    attributes discovered mid-region (row counts, result sizes) attach via
+    :meth:`set` and land in the event's ``args``.
+    """
+
+    __slots__ = ("_recorder", "name", "args", "id", "parent", "tid", "_start")
+
+    def __init__(self, recorder, name: str, args: dict[str, Any]):
+        self._recorder = recorder
+        self.name = name
+        self.args = args
+        self.id = 0
+        self.parent: int | None = None
+        self.tid = 0
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) event attributes; chainable."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._recorder._open_span(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration_s = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._recorder._close_span(self, duration_s)
+
+
+class NullSpan:
+    """Shared no-op span handed out when no recorder is installed.
+
+    Stateless and reentrant, so one module-level instance serves every
+    disabled ``with obs.trace(...)`` block at zero allocation cost.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class TraceBuffer:
+    """Thread-safe accumulator of finished trace events."""
+
+    def __init__(self):
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+
+    def append(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> list[dict]:
+        """The recorded events, ordered by completion time."""
+        with self._lock:
+            return list(self._events)
+
+
+def span_event(span: Span, start_us: float, dur_us: float) -> dict:
+    """The Chrome-trace "complete" event for a finished span."""
+    return {
+        "name": span.name,
+        "cat": span.name.split(".", 1)[0],
+        "ph": "X",
+        "ts": round(start_us, 1),
+        "dur": round(dur_us, 1),
+        "pid": 0,
+        "tid": span.tid,
+        "id": span.id,
+        "parent": span.parent,
+        "args": span.args,
+    }
+
+
+def metric_events(snapshot: dict[str, dict], ts_us: float) -> list[dict]:
+    """Chrome-trace "counter" events for a metrics-registry snapshot."""
+    events = []
+    for name, state in snapshot.items():
+        args = {k: v for k, v in state.items() if k != "type" and v is not None}
+        events.append(
+            {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": "C",
+                "ts": round(ts_us, 1),
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_jsonl(events: Iterable[dict], path: str | Path) -> int:
+    """Write events one-JSON-object-per-line; returns the event count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace file back into event dicts (tests, tooling)."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: bad JSONL: {exc}") from exc
+    return events

@@ -44,6 +44,55 @@ class TestTimeline:
         with pytest.raises(ValueError):
             render_trace_timeline(problem, trace, table_names=("only-one",))
 
+    def test_max_rows_below_one_rejected(self, problem):
+        trace = simulate_policy(problem, NaivePolicy())
+        with pytest.raises(ValueError, match="max_rows"):
+            render_trace_timeline(problem, trace, max_rows=0)
+
+    def test_indivisible_horizon_covers_every_step(self):
+        """Bucketing regression: ``steps % bucket != 0`` loses nothing.
+
+        With integer per-step costs the rendered ``cost=`` values are
+        exact, so summing them over all rows must reproduce the trace's
+        total -- including the forced refresh at t = horizon, which lands
+        in the shorter tail bucket.
+        """
+        # 80 steps (horizon 79) into <= 7 rows -> bucket 12, tail of 8.
+        problem = ProblemInstance(
+            [LinearCost(slope=1.0), LinearCost(slope=1.0)],
+            limit=50.0,
+            arrivals=[(1, 1)] * 80,
+        )
+        trace = simulate_policy(problem, NaivePolicy())
+        text = render_trace_timeline(problem, trace, max_rows=7)
+        rows = [line for line in text.splitlines() if line.startswith("t=")]
+        assert len(rows) <= 7
+        starts = [int(row.split("|")[0].split("=")[1]) for row in rows]
+        assert starts[0] == 0
+        assert starts == sorted(starts)
+        # Contiguous buckets: each row starts one bucket after the last.
+        assert all(b - a == starts[1] for a, b in zip(starts, starts[1:]))
+        assert starts[-1] < problem.horizon + 1  # tail bucket not skipped
+        rendered_cost = sum(
+            float(row.split("cost=")[1]) for row in rows if "cost=" in row
+        )
+        assert rendered_cost == pytest.approx(trace.total_cost)
+
+    def test_tail_bucket_shows_forced_final_refresh(self):
+        """A single-step tail bucket still renders the t = horizon flush."""
+        # 81 steps into <= 41 rows -> bucket 2, tail bucket = {t=80} alone.
+        problem = ProblemInstance(
+            [LinearCost(slope=1.0), LinearCost(slope=1.0)],
+            limit=50.0,
+            arrivals=[(1, 1)] * 81,
+        )
+        trace = simulate_policy(problem, NaivePolicy())
+        text = render_trace_timeline(problem, trace, max_rows=41)
+        rows = [line for line in text.splitlines() if line.startswith("t=")]
+        assert len(rows) == 41
+        assert rows[-1].startswith("t=   80")
+        assert "flush[" in rows[-1]
+
     def test_asymmetric_plan_shows_single_table_flushes(self, problem):
         trace = simulate_policy(problem, OnlinePolicy())
         text = render_trace_timeline(

@@ -1,0 +1,130 @@
+"""Tests for span tracing, the recorder, and JSONL export."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import NULL_SPAN, read_jsonl
+
+
+class TestDisabled:
+    def test_no_recorder_by_default(self):
+        assert obs.get_recorder() is None
+
+    def test_helpers_are_noops_without_recorder(self):
+        # Must not raise, must not allocate a registry anywhere.
+        obs.counter("astar.expanded", 5)
+        obs.gauge("simulator.backlog", 1.0)
+        obs.gauge_max("astar.heap_peak", 2.0)
+        obs.observe("engine.execute.sim_ms", 3.0)
+
+    def test_trace_returns_shared_null_span(self):
+        span = obs.trace("astar.search", horizon=5)
+        assert span is NULL_SPAN
+        with span as inner:
+            assert inner.set(rows=1) is inner
+
+
+class TestRecording:
+    def test_recording_installs_and_restores(self):
+        assert obs.get_recorder() is None
+        with obs.recording() as rec:
+            assert obs.get_recorder() is rec
+            obs.counter("x")
+            assert rec.registry.get("x").value == 1
+        assert obs.get_recorder() is None
+
+    def test_recordings_nest(self):
+        with obs.recording() as outer:
+            with obs.recording() as inner:
+                obs.counter("only.inner")
+                assert obs.get_recorder() is inner
+            assert obs.get_recorder() is outer
+            assert outer.registry.get("only.inner") is None
+
+    def test_install_is_thread_local(self):
+        with obs.recording() as rec:
+            seen = []
+            thread = threading.Thread(
+                target=lambda: seen.append(obs.get_recorder())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+        assert rec is not None
+
+
+class TestSpans:
+    def test_nested_spans_record_parenting(self):
+        with obs.recording(trace=True) as rec:
+            with obs.trace("outer", depth=0):
+                with obs.trace("outer.inner"):
+                    pass
+                with obs.trace("outer.second"):
+                    pass
+        events = {e["name"]: e for e in rec.events.events()}
+        outer = events["outer"]
+        assert outer["parent"] is None
+        assert events["outer.inner"]["parent"] == outer["id"]
+        assert events["outer.second"]["parent"] == outer["id"]
+        assert outer["ph"] == "X"
+        assert outer["dur"] >= 0
+        # Children finish before the parent, so they appear first.
+        assert [e["name"] for e in rec.events.events()][-1] == "outer"
+
+    def test_span_attrs_and_error_flag(self):
+        with obs.recording(trace=True) as rec:
+            with pytest.raises(RuntimeError):
+                with obs.trace("phase", k=40) as span:
+                    span.set(rows=7)
+                    raise RuntimeError("boom")
+        (event,) = rec.events.events()
+        assert event["args"] == {"k": 40, "rows": 7, "error": "RuntimeError"}
+
+    def test_spans_feed_ms_histograms_even_without_trace(self):
+        with obs.recording(trace=False) as rec:
+            with obs.trace("ivm.flush"):
+                pass
+        assert len(rec.events) == 0  # no trace buffer when disabled
+        hist = rec.registry.get("ivm.flush.ms")
+        assert hist is not None and hist.count == 1
+
+    def test_category_is_first_dotted_segment(self):
+        with obs.recording(trace=True) as rec:
+            with obs.trace("engine.io.load_table"):
+                pass
+        (event,) = rec.events.events()
+        assert event["cat"] == "engine"
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.recording(trace=True) as rec:
+            with obs.trace("a", k=1):
+                with obs.trace("a.b"):
+                    pass
+            obs.counter("rows", 12)
+            count = rec.write_trace(path)
+        events = read_jsonl(path)
+        assert len(events) == count >= 3
+        spans = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {e["name"] for e in spans} == {"a", "a.b"}
+        # Metrics ride along as Chrome counter events.
+        assert any(e["name"] == "rows" for e in counters)
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["a.b"]["parent"] == by_name["a"]["id"]
+
+    def test_read_jsonl_reports_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl(path)
+
+    def test_summary_table_covers_span_timings(self):
+        with obs.recording() as rec:
+            with obs.trace("simulator.simulate_policy"):
+                pass
+        assert "simulator.simulate_policy.ms" in rec.summary_table()
