@@ -1,0 +1,89 @@
+"""Compare fresh benchmark wall times against committed baselines.
+
+CI usage (see ``.github/workflows/ci.yml``): the committed
+``benchmarks/results/*.json`` files are copied aside before the
+benchmarks re-run, then this script diffs ``wall_time_s`` per benchmark
+name and **fails only on a >2x regression** (shared runners are noisy;
+anything under the threshold is reported but tolerated).  Simulated
+costs are deliberately not compared here — those are byte-exact and
+guarded by the test suite, not by a tolerance.
+
+Exit status: 0 when every common benchmark is within the threshold,
+1 otherwise.  Benchmarks present on only one side are listed and
+skipped (new or retired benches must not break CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_wall_times(directory: Path) -> dict[str, float]:
+    """Map benchmark name -> wall_time_s for every result JSON in ``directory``."""
+    out: dict[str, float] = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}")
+            continue
+        name = data.get("name", path.stem)
+        wall = data.get("wall_time_s")
+        if isinstance(wall, (int, float)) and wall > 0:
+            out[name] = float(wall)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="directory of committed result JSONs (the reference)",
+    )
+    parser.add_argument(
+        "--current", type=Path, required=True,
+        help="directory of freshly generated result JSONs",
+    )
+    parser.add_argument(
+        "--max-ratio", type=float, default=2.0,
+        help="fail when current/baseline exceeds this (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_wall_times(args.baseline)
+    current = load_wall_times(args.current)
+    common = sorted(set(baseline) & set(current))
+    for name in sorted(set(baseline) ^ set(current)):
+        side = "baseline" if name in baseline else "current"
+        print(f"note: {name} only in {side}; skipped")
+    if not common:
+        print("no common benchmarks to compare; nothing to gate")
+        return 0
+
+    failed = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for name in common:
+        ratio = current[name] / baseline[name]
+        flag = "  REGRESSION" if ratio > args.max_ratio else ""
+        print(
+            f"{name:<{width}} {baseline[name]:>9.3f}s {current[name]:>9.3f}s "
+            f"{ratio:>6.2f}x{flag}"
+        )
+        if ratio > args.max_ratio:
+            failed.append(name)
+    if failed:
+        print(
+            f"\nFAIL: {len(failed)} benchmark(s) regressed more than "
+            f"{args.max_ratio:.1f}x: {', '.join(failed)}"
+        )
+        return 1
+    print(f"\nOK: all {len(common)} benchmarks within {args.max_ratio:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,20 @@ def enumerate_greedy_minimal_actions(
     Yields actions in deterministic order (subsets in increasing bitmask
     order over non-empty tables) so planner results are reproducible.
     """
-    costs = [f(k) for f, k in zip(problem.cost_functions, state, strict=True)]
+    # Component costs go through the instance's per-(table, k) memo; a hit
+    # returns the bit-identical float the direct call would produce.
+    # Duck-typed problem stand-ins (e.g. the online planner's static view)
+    # may not carry the memos; fall back to direct calls.
+    memos = getattr(problem, "_component_memos", None)
+    if memos is None:
+        costs = [f(k) for f, k in zip(problem.cost_functions, state, strict=True)]
+    else:
+        costs = []
+        for f, memo, k in zip(problem.cost_functions, memos, state, strict=True):
+            c = memo.get(k)
+            if c is None:
+                c = memo[k] = f(k)
+            costs.append(c)
     total = sum(costs)
     if total <= problem.limit + _EPS:
         return  # state is not full; the minimal action is no action
@@ -64,6 +77,29 @@ def enumerate_greedy_minimal_actions(
         yield tuple(action)
 
 
+def cached_greedy_minimal_actions(
+    state: Vector, problem: ProblemInstance
+) -> tuple[Vector, ...]:
+    """The full greedy-minimal-action set for ``state``, memoized.
+
+    Planners revisit the same full pre-action states along many search
+    paths (A* reaches one ``(t, s)`` node per path class, but distinct
+    timestamps share states); the enumeration's subset scan is pure in
+    ``(state, problem)``, so its result tuple is cached on the instance.
+    Order and contents are exactly those of
+    :func:`enumerate_greedy_minimal_actions`.
+    """
+    memo = getattr(problem, "_action_memo", None)
+    if memo is None:
+        return tuple(enumerate_greedy_minimal_actions(state, problem))
+    actions = memo.get(state)
+    if actions is None:
+        actions = memo[state] = tuple(
+            enumerate_greedy_minimal_actions(state, problem)
+        )
+    return actions
+
+
 def cheapest_greedy_minimal_action(
     state: Vector, problem: ProblemInstance
 ) -> Vector:
@@ -75,7 +111,7 @@ def cheapest_greedy_minimal_action(
     """
     best: Vector | None = None
     best_cost = float("inf")
-    for action in enumerate_greedy_minimal_actions(state, problem):
+    for action in cached_greedy_minimal_actions(state, problem):
         cost = problem.refresh_cost(action)
         if cost < best_cost:
             best, best_cost = action, cost

@@ -42,7 +42,7 @@ import time
 from dataclasses import dataclass
 
 from repro import obs
-from repro.core.actions import enumerate_greedy_minimal_actions
+from repro.core.actions import cached_greedy_minimal_actions
 from repro.core.plan import Plan
 from repro.core.problem import (
     ProblemInstance,
@@ -100,23 +100,45 @@ def _expand(node: Node, problem: ProblemInstance) -> list[tuple[Node, float]]:
     Implements the edge rule of Section 4.1, including the destination
     special case (the final refresh is exempt from laziness and must
     process everything).
+
+    The first full time step is located by binary search rather than a
+    linear walk: the pre-action state grows componentwise with ``t2``
+    (arrivals are non-negative) and the cost functions are monotone, so
+    fullness is monotone in ``t2`` and the same ``is_full`` predicate that
+    the walk would evaluate step by step identifies the boundary.  States
+    come from exact integer prefix sums, so every probed state -- and hence
+    every edge -- is identical to the linear walk's.
     """
     t1, state = node
     horizon = problem.horizon
-    cur = state
-    for t2 in range(t1 + 1, horizon + 1):
-        cur = add_vectors(cur, problem.arrivals[t2])
-        if t2 == horizon:
-            # Reached the refresh time: one edge, flush everything.
-            return [((horizon, zero_vector(problem.n)), problem.refresh_cost(cur))]
-        if problem.is_full(cur):
-            return [
-                ((t2, sub_vectors(cur, action)), problem.refresh_cost(action))
-                for action in enumerate_greedy_minimal_actions(cur, problem)
-            ]
-    # t1 == horizon with a non-zero state cannot happen: destination nodes
-    # are terminal and all other nodes at T are never created.
-    return []
+    if t1 >= horizon:
+        # t1 == horizon with a non-zero state cannot happen: destination
+        # nodes are terminal and all other nodes at T are never created.
+        return []
+    prefix = problem.prefix_totals()
+    # base + prefix[t2 + 1] == state + arrivals in (t1, t2]: exact ints.
+    base = tuple(s - b for s, b in zip(state, prefix[t1 + 1]))
+    refresh_cost = problem.refresh_cost
+    full_above = problem.limit + 1e-9  # the is_full threshold, verbatim
+    # Smallest t2 in (t1, horizon) whose pre-action state is full, if any.
+    first_full = None
+    lo, hi = t1 + 1, horizon - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if refresh_cost(tuple(map(sum, zip(base, prefix[mid + 1])))) > full_above:
+            first_full = mid
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if first_full is None:
+        # Never full before the refresh time: one edge, flush everything.
+        cur = tuple(map(sum, zip(base, prefix[horizon + 1])))
+        return [((horizon, zero_vector(problem.n)), problem.refresh_cost(cur))]
+    cur = tuple(map(sum, zip(base, prefix[first_full + 1])))
+    return [
+        ((first_full, sub_vectors(cur, action)), problem.refresh_cost(action))
+        for action in cached_greedy_minimal_actions(cur, problem)
+    ]
 
 
 def find_optimal_lgm_plan(problem: ProblemInstance, use_heuristic: bool = True) -> AStarResult:

@@ -101,8 +101,21 @@ class ProblemInstance:
             for f in self.cost_functions:
                 check_cost_function(f)
         self._suffix_totals: list[Vector] | None = None
+        self._prefix_totals: list[Vector] | None = None
         self._batch_bounds: Vector | None = None
         self._min_rates: tuple[float, ...] | None = None
+        # Value caches for the planners' hot loops.  Cost functions are
+        # pure, so caching changes which calls happen, never any value:
+        # a memoized result is the bit-identical float the call would
+        # have produced.  ``_cost_memo`` maps state -> f(state);
+        # ``_component_memos[i]`` maps k -> f_i(k); ``_action_memo`` maps
+        # a full state -> its greedy-minimal-action tuple (filled by
+        # :func:`repro.core.actions.cached_greedy_minimal_actions`).
+        self._cost_memo: dict[Vector, float] = {}
+        self._component_memos: tuple[dict[int, float], ...] = tuple(
+            {} for __ in self.cost_functions
+        )
+        self._action_memo: dict[Vector, tuple[Vector, ...]] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -130,8 +143,27 @@ class ProblemInstance:
     # ------------------------------------------------------------------
 
     def refresh_cost(self, state: Vector) -> float:
-        """``f(s) = sum_i f_i(s[i])`` -- cost of refreshing the view now."""
-        return sum(f(k) for f, k in zip(self.cost_functions, state, strict=True))
+        """``f(s) = sum_i f_i(s[i])`` -- cost of refreshing the view now.
+
+        Memoized per state (and per component): planners probe the same
+        states and batch sizes over and over, and tabulated cost functions
+        pay a bisect per call.  Summation stays left-to-right over the
+        component values, so the cached total is bit-identical to the
+        uncached expression.
+        """
+        cached = self._cost_memo.get(state)
+        if cached is not None:
+            return cached
+        total = 0
+        for f, memo, k in zip(
+            self.cost_functions, self._component_memos, state, strict=True
+        ):
+            c = memo.get(k)
+            if c is None:
+                c = memo[k] = f(k)
+            total = total + c
+        self._cost_memo[state] = total
+        return total
 
     def is_full(self, state: Vector) -> bool:
         """True when the refresh cost of ``state`` exceeds the constraint."""
@@ -159,6 +191,35 @@ class ProblemInstance:
             totals[self.horizon + 1] = zero_vector(self.n)
             self._suffix_totals = totals
         return self._suffix_totals
+
+    def prefix_totals(self) -> list[Vector]:
+        """``prefix_totals()[t + 1][i]`` = modifications to R_i in ``[0, t]``.
+
+        Entry 0 is the zero vector (nothing has arrived before time 0), so
+        the arrivals in the half-open window ``(t1, t2]`` are exactly
+        ``prefix_totals()[t2 + 1] - prefix_totals()[t1 + 1]`` -- all integer
+        arithmetic, hence exact.  This is what lets the A* expansion locate
+        the first full time step by binary search instead of re-summing
+        arrivals along every edge.
+        """
+        if self._prefix_totals is None:
+            totals = [zero_vector(self.n)]
+            acc = totals[0]
+            for d in self.arrivals:
+                acc = add_vectors(acc, d)
+                totals.append(acc)
+            self._prefix_totals = totals
+        return self._prefix_totals
+
+    def state_at(self, t1: int, state: Vector, t2: int) -> Vector:
+        """The pre-action state at ``t2`` reached from post-action ``state``
+        at ``t1`` with no action in between: ``state`` plus all arrivals in
+        ``(t1, t2]``."""
+        prefix = self.prefix_totals()
+        upto, since = prefix[t2 + 1], prefix[t1 + 1]
+        return tuple(
+            s + a - b for s, a, b in zip(state, upto, since, strict=True)
+        )
 
     def future_arrivals(self, t: int) -> Vector:
         """Total modifications per table arriving strictly after time ``t``."""

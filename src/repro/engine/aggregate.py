@@ -44,6 +44,18 @@ class AggregateState(ABC):
     def insert(self, value: Any) -> None:
         """Fold one inserted value into the state."""
 
+    def insert_many(self, values: Sequence[Any]) -> None:
+        """Fold a batch of inserted values, in order.
+
+        Equivalent to ``for v in values: self.insert(v)`` -- same resulting
+        state, same total charges.  Subclasses override to charge the
+        counter once per batch (the blocked pipeline's amortization) while
+        applying the per-value updates in the identical sequential order,
+        so even float accumulation is bit-for-bit the same.
+        """
+        for value in values:
+            self.insert(value)
+
     @abstractmethod
     def delete(self, value: Any) -> None:
         """Unfold one deleted value from the state."""
@@ -73,6 +85,10 @@ class CountState(AggregateState):
         self._charge("agg_updates")
         self._count += 1
 
+    def insert_many(self, values: Sequence[Any]) -> None:
+        self._charge("agg_updates", len(values))
+        self._count += len(values)
+
     def delete(self, value: Any) -> None:
         self._charge("agg_updates")
         if self._count == 0:
@@ -99,6 +115,14 @@ class SumState(AggregateState):
         self._charge("agg_updates")
         self._sum += value
         self._count += 1
+
+    def insert_many(self, values: Sequence[Any]) -> None:
+        self._charge("agg_updates", len(values))
+        # Sequential accumulation, NOT sum(): float addition is not
+        # associative, and results must match the row path bit-for-bit.
+        for value in values:
+            self._sum += value
+        self._count += len(values)
 
     def delete(self, value: Any) -> None:
         self._charge("agg_updates")
@@ -151,6 +175,17 @@ class _ExtremumState(AggregateState):
         self._count += 1
         if self._extremum is None or self._beats(value, self._extremum):
             self._extremum = value
+
+    def insert_many(self, values: Sequence[Any]) -> None:
+        self._charge("agg_updates", len(values))
+        multiset = self._multiset
+        extremum = self._extremum
+        for value in values:
+            multiset[value] = multiset.get(value, 0) + 1
+            if extremum is None or self._beats(value, extremum):
+                extremum = value
+        self._extremum = extremum
+        self._count += len(values)
 
     def delete(self, value: Any) -> None:
         self._charge("agg_updates")
@@ -245,6 +280,7 @@ class Aggregate(Operator):
         self.counter = child.counter
         self.func = func.lower()
         self._value_fn = value.compile(child.layout)
+        self._value_block_fn = value.compile_block(child.layout)
         self._group_positions = [
             resolve_column(name, child.layout) for name in group_by
         ]
@@ -275,3 +311,50 @@ class Aggregate(Operator):
             return
         for key in sorted(groups, key=repr):
             yield key + (groups[key].result(),)
+
+    def blocks(self, block_size: int):
+        from repro.engine.block import iter_blocks
+
+        groups: dict[tuple, AggregateState] = {}
+        group_positions = self._group_positions
+        value_block_fn = self._value_block_fn
+        rows_in = 0
+        for block in self.child.blocks(block_size):
+            rows_in += len(block)
+            values = value_block_fn(block)
+            if not group_positions:
+                key = ()
+                state = groups.get(key)
+                if state is None:
+                    state = make_aggregate_state(self.func, self.counter)
+                    groups[key] = state
+                state.insert_many(values)
+                continue
+            # Bucket this block's values by group key, preserving row order
+            # within each group, then fold each bucket in one bulk call.
+            key_columns = [block.column(p) for p in group_positions]
+            buckets: dict[tuple, list] = {}
+            for key, value in zip(zip(*key_columns), values):
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [value]
+                else:
+                    bucket.append(value)
+            for key, bucket in buckets.items():
+                state = groups.get(key)
+                if state is None:
+                    state = make_aggregate_state(self.func, self.counter)
+                    groups[key] = state
+                state.insert_many(bucket)
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.counter("engine.aggregate.rows_in", rows_in)
+            recorder.counter("engine.aggregate.groups_out", len(groups))
+        if not groups and not self._group_positions:
+            empty = make_aggregate_state(self.func, self.counter)
+            out_rows = [(empty.result(),)]
+        else:
+            out_rows = [
+                key + (groups[key].result(),) for key in sorted(groups, key=repr)
+            ]
+        yield from iter_blocks(out_rows, self.layout, block_size)

@@ -1,0 +1,147 @@
+"""Chunked execution: the :class:`RowBlock` unit of the blocked pipeline.
+
+The engine's original pull model moved one Python tuple at a time through
+a chain of generator frames, paying a frame switch, an attribute lookup,
+and an :class:`~repro.engine.costmodel.OperationCounter` call *per row per
+operator*.  A :class:`RowBlock` moves a fixed-size chunk of rows instead:
+operators process whole blocks with C-speed bulk primitives (``zip``,
+``map``, list comprehensions) and charge the cost counter once per block
+with the exact same totals -- the simulated page/CPU costs are
+**bit-identical** to row-at-a-time execution, only the interpreter
+overhead drops.  ``tests/integration/test_block_equivalence.py`` enforces
+that invariant across block sizes.
+
+Layout convention matches the row model: a block carries the same
+``{qualified column name: position}`` layout its operator exposes, and the
+logical content is the ordered multiset of row tuples.  Storage is
+column-major (one Python list per column) so expression evaluation
+(:meth:`~repro.engine.expr.Expression.compile_block`) can pull a whole
+column without touching individual rows, and projections can reuse column
+lists without copying.  A row-major view is materialized lazily (one
+C-level ``zip`` transpose) and cached, because join assembly wants tuples.
+
+Blocks are immutable by convention: operators must never mutate a block's
+column lists after handing the block downstream (projection and filter
+fast paths share them zero-copy).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+#: Default rows per block.  Measured, not guessed: see
+#: ``benchmarks/bench_block_size_sweep.py`` -- wall time on the three_way
+#: workload is flat within noise from 64 upward, so we take the first size
+#: on the plateau (small blocks keep per-block working sets cache-friendly
+#: and the fill histogram informative).
+DEFAULT_BLOCK_SIZE = 256
+
+
+class RowBlock:
+    """A chunk of rows in column-major layout.
+
+    ``columns[pos]`` is the list of values of the column at tuple position
+    ``pos``; ``layout`` maps qualified column names to positions, exactly
+    as on the operator that produced the block.
+    """
+
+    __slots__ = ("layout", "_columns", "_rows", "_length", "_col_cache")
+
+    def __init__(
+        self,
+        columns: Sequence[list] | None,
+        layout: Mapping[str, int],
+        rows: list[tuple] | None = None,
+        length: int | None = None,
+    ):
+        self.layout = layout
+        self._columns = list(columns) if columns is not None else None
+        self._rows = rows
+        self._col_cache: dict[int, list] | None = None
+        if length is not None:
+            self._length = length
+        elif rows is not None:
+            self._length = len(rows)
+        elif self._columns:
+            self._length = len(self._columns[0])
+        else:
+            self._length = 0
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: list[tuple], layout: Mapping[str, int]) -> "RowBlock":
+        """Wrap an ordered list of row tuples (kept by reference)."""
+        return cls(None, layout, rows=rows)
+
+    @classmethod
+    def from_columns(
+        cls, columns: Sequence[list], layout: Mapping[str, int], length: int | None = None
+    ) -> "RowBlock":
+        """Wrap column lists (kept by reference -- zero copy)."""
+        return cls(columns, layout, length=length)
+
+    # -- views ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def rows(self) -> list[tuple]:
+        """The row-major view (lazily transposed once, then cached)."""
+        if self._rows is None:
+            assert self._columns is not None
+            self._rows = list(zip(*self._columns)) if self._columns else []
+        return self._rows
+
+    def column(self, pos: int) -> list:
+        """One column's values (lazily extracted once, then cached).
+
+        For a row-major block, only the requested column is materialized
+        (one list comprehension), not a full transpose -- joins typically
+        touch a single key column of a wide block.  Returns an internal
+        list; callers must not mutate it.
+        """
+        if self._columns is not None:
+            return self._columns[pos]
+        cache = self._col_cache
+        if cache is None:
+            cache = self._col_cache = {}
+        col = cache.get(pos)
+        if col is None:
+            assert self._rows is not None
+            col = cache[pos] = [row[pos] for row in self._rows]
+        return col
+
+    def take(self, indices: Sequence[int]) -> "RowBlock":
+        """A new block keeping only the rows at ``indices`` (in order)."""
+        rows = self.rows()
+        return RowBlock.from_rows([rows[i] for i in indices], self.layout)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows())
+
+    def __repr__(self) -> str:
+        return f"RowBlock(rows={self._length}, width={len(self.layout)})"
+
+
+def iter_blocks(
+    rows: Sequence[tuple], layout: Mapping[str, int], block_size: int
+) -> Iterator[RowBlock]:
+    """Chunk an in-memory row list into blocks of at most ``block_size``.
+
+    Slices share the underlying row tuples (no per-row copying); empty
+    inputs produce no blocks, matching an exhausted row iterator.
+    """
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    for start in range(0, len(rows), block_size):
+        chunk = rows[start : start + block_size]
+        yield RowBlock.from_rows(list(chunk), layout)
+
+
+def blocks_to_rows(blocks: Iterable[RowBlock]) -> list[tuple]:
+    """Flatten a block stream back into one ordered row list."""
+    out: list[tuple] = []
+    for block in blocks:
+        out.extend(block.rows())
+    return out

@@ -15,11 +15,16 @@ from __future__ import annotations
 
 import operator
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.engine.errors import SchemaError
 
+if TYPE_CHECKING:  # circular import guard; block.py is expression-free
+    from repro.engine.block import RowBlock
+
 RowPredicate = Callable[[tuple], Any]
+#: A compiled block evaluator: RowBlock -> list of per-row values.
+BlockEvaluator = Callable[["RowBlock"], list]
 
 _COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
     "=": operator.eq,
@@ -47,6 +52,20 @@ class Expression(ABC):
 
         ``layout`` maps qualified column names to tuple positions.
         """
+
+    def compile_block(self, layout: Mapping[str, int]) -> BlockEvaluator:
+        """Compile to a closure evaluating this expression on a whole
+        :class:`~repro.engine.block.RowBlock`, returning one value per row.
+
+        Column resolution happens here, once per compile -- the returned
+        closure does no per-row dictionary work.  The base implementation
+        falls back to mapping the row compilation over the block, so any
+        expression subclass is block-evaluable; the core node types
+        override it with columnar forms (a column reference returns the
+        block's column list itself, zero-copy).
+        """
+        fn = self.compile(layout)
+        return lambda block: [fn(row) for row in block.rows()]
 
     @abstractmethod
     def references(self) -> frozenset[str]:
@@ -107,6 +126,10 @@ class ColumnRef(Expression):
         pos = resolve_column(self.name, layout)
         return lambda row: row[pos]
 
+    def compile_block(self, layout: Mapping[str, int]) -> BlockEvaluator:
+        pos = resolve_column(self.name, layout)
+        return lambda block: block.column(pos)
+
     def references(self) -> frozenset[str]:
         return frozenset([self.name])
 
@@ -123,6 +146,10 @@ class Const(Expression):
     def compile(self, layout: Mapping[str, int]) -> RowPredicate:
         value = self.value
         return lambda row: value
+
+    def compile_block(self, layout: Mapping[str, int]) -> BlockEvaluator:
+        value = self.value
+        return lambda block: [value] * len(block)
 
     def references(self) -> frozenset[str]:
         return frozenset()
@@ -146,6 +173,12 @@ class Comparison(Expression):
         left = self.left.compile(layout)
         right = self.right.compile(layout)
         return lambda row: fn(left(row), right(row))
+
+    def compile_block(self, layout: Mapping[str, int]) -> BlockEvaluator:
+        fn = _COMPARISONS[self.op]
+        left = self.left.compile_block(layout)
+        right = self.right.compile_block(layout)
+        return lambda block: list(map(fn, left(block), right(block)))
 
     def references(self) -> frozenset[str]:
         return self.left.references() | self.right.references()
@@ -184,6 +217,12 @@ class BinOp(Expression):
         right = self.right.compile(layout)
         return lambda row: fn(left(row), right(row))
 
+    def compile_block(self, layout: Mapping[str, int]) -> BlockEvaluator:
+        fn = _ARITHMETIC[self.op]
+        left = self.left.compile_block(layout)
+        right = self.right.compile_block(layout)
+        return lambda block: list(map(fn, left(block), right(block)))
+
     def references(self) -> frozenset[str]:
         return self.left.references() | self.right.references()
 
@@ -208,6 +247,13 @@ class BoolOp(Expression):
             return lambda row: all(fn(row) for fn in compiled)
         return lambda row: any(fn(row) for fn in compiled)
 
+    def compile_block(self, layout: Mapping[str, int]) -> BlockEvaluator:
+        compiled = [e.compile_block(layout) for e in self.operands]
+        combine = all if self.op == "and" else any
+        return lambda block: [
+            combine(values) for values in zip(*(fn(block) for fn in compiled))
+        ]
+
     def references(self) -> frozenset[str]:
         out: frozenset[str] = frozenset()
         for e in self.operands:
@@ -228,6 +274,10 @@ class Not(Expression):
     def compile(self, layout: Mapping[str, int]) -> RowPredicate:
         fn = self.operand.compile(layout)
         return lambda row: not fn(row)
+
+    def compile_block(self, layout: Mapping[str, int]) -> BlockEvaluator:
+        fn = self.operand.compile_block(layout)
+        return lambda block: [not value for value in fn(block)]
 
     def references(self) -> frozenset[str]:
         return self.operand.references()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro import obs
+from repro.engine.block import RowBlock
 from repro.engine.errors import SchemaError
 from repro.engine.expr import Expression, resolve_column
 from repro.engine.operators import Operator, merged_layout
@@ -53,6 +54,35 @@ class NestedLoopJoin(Operator):
                     if pred is None or pred(row):
                         rows_out += 1
                         yield row
+        finally:
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                recorder.counter("engine.join.nl.rows_in", rows_in)
+                recorder.counter("engine.join.nl.rows_out", rows_out)
+                recorder.counter("engine.join.rows_out", rows_out)
+
+    def blocks(self, block_size: int) -> Iterator[RowBlock]:
+        pred = self._predicate
+        inner = self._inner
+        layout = self.layout
+        rows_in = rows_out = 0
+        try:
+            for lblock in self.left.blocks(block_size):
+                rows_in += len(lblock)
+                # One compare per (outer, inner) pair, same as row-at-a-time.
+                self.counter.charge("compares", len(lblock) * len(inner))
+                if pred is None:
+                    out = [lrow + rrow for lrow in lblock.rows() for rrow in inner]
+                else:
+                    out = [
+                        row
+                        for lrow in lblock.rows()
+                        for rrow in inner
+                        if pred(row := lrow + rrow)
+                    ]
+                rows_out += len(out)
+                if out:
+                    yield RowBlock.from_rows(out, layout)
         finally:
             recorder = obs.get_recorder()
             if recorder is not None:
@@ -112,6 +142,32 @@ class IndexNestedLoopJoin(Operator):
                 recorder.counter("engine.join.inl.rows_out", rows_out)
                 recorder.counter("engine.join.rows_out", rows_out)
 
+    def blocks(self, block_size: int) -> Iterator[RowBlock]:
+        pos = self._left_pos
+        lookup = self.snapshot.lookup
+        right_column = self._right_column
+        layout = self.layout
+        probes = rows_out = 0
+        try:
+            for lblock in self.left.blocks(block_size):
+                probes += len(lblock)
+                self.counter.charge("index_probes", len(lblock))
+                out = [
+                    lrow + rrow
+                    for lrow, key in zip(lblock.rows(), lblock.column(pos))
+                    for rrow in lookup(right_column, key)
+                ]
+                if out:
+                    self.counter.charge("tuple_cpu", len(out))
+                    rows_out += len(out)
+                    yield RowBlock.from_rows(out, layout)
+        finally:
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                recorder.counter("engine.join.inl.probes", probes)
+                recorder.counter("engine.join.inl.rows_out", rows_out)
+                recorder.counter("engine.join.rows_out", rows_out)
+
 
 class HashJoin(Operator):
     """Equi-join: build a hash table on the right side, stream the left.
@@ -128,6 +184,7 @@ class HashJoin(Operator):
         right: Operator,
         left_column: str,
         right_column: str,
+        block_size: int | None = None,
     ):
         self.left = left
         self.counter = left.counter
@@ -136,10 +193,20 @@ class HashJoin(Operator):
         right_pos = resolve_column(right_column, right.layout)
         self._table: dict = {}
         build_rows = 0
-        for rrow in right:
-            build_rows += 1
-            self.counter.charge("hash_builds")
-            self._table.setdefault(rrow[right_pos], []).append(rrow)
+        table = self._table
+        if block_size is None:
+            for rrow in right:
+                build_rows += 1
+                self.counter.charge("hash_builds")
+                table.setdefault(rrow[right_pos], []).append(rrow)
+        else:
+            # Blocked build: same rows, same order, same total hash_builds
+            # -- one bulk charge per block instead of one call per tuple.
+            for rblock in right.blocks(block_size):
+                build_rows += len(rblock)
+                self.counter.charge("hash_builds", len(rblock))
+                for key, rrow in zip(rblock.column(right_pos), rblock.rows()):
+                    table.setdefault(key, []).append(rrow)
         # The build is the setup cost ``b`` of the paper's cost model;
         # surfacing it separately from probe-side output is what lets a
         # trace show where a batch's time actually went.
@@ -157,6 +224,31 @@ class HashJoin(Operator):
                     self.counter.charge("tuple_cpu")
                     rows_out += 1
                     yield lrow + rrow
+        finally:
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                recorder.counter("engine.join.hash.probes", probes)
+                recorder.counter("engine.join.hash.rows_out", rows_out)
+                recorder.counter("engine.join.rows_out", rows_out)
+
+    def blocks(self, block_size: int) -> Iterator[RowBlock]:
+        pos = self._left_pos
+        table = self._table
+        layout = self.layout
+        probes = rows_out = 0
+        try:
+            for lblock in self.left.blocks(block_size):
+                probes += len(lblock)
+                self.counter.charge("hash_probes", len(lblock))
+                out = [
+                    lrow + rrow
+                    for lrow, key in zip(lblock.rows(), lblock.column(pos))
+                    for rrow in table.get(key, ())
+                ]
+                if out:
+                    self.counter.charge("tuple_cpu", len(out))
+                    rows_out += len(out)
+                    yield RowBlock.from_rows(out, layout)
         finally:
             recorder = obs.get_recorder()
             if recorder is not None:

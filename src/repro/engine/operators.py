@@ -1,10 +1,15 @@
 """Physical operators: scans, filters, projections.
 
-Operators follow a simple pull model: each exposes ``layout`` (a mapping
-from qualified column name to position in the tuples it produces) and is
-iterable.  Every operator charges its work to the shared
-:class:`~repro.engine.costmodel.OperationCounter`, which is how experiments
-observe maintenance cost.
+Operators follow a simple pull model with two equivalent surfaces: each
+exposes ``layout`` (a mapping from qualified column name to position in
+the tuples it produces) and is iterable row-at-a-time, and each also
+implements :meth:`Operator.blocks` -- the chunked pipeline that moves
+:class:`~repro.engine.block.RowBlock` batches instead of single tuples.
+Both surfaces produce the same rows in the same order and charge the
+shared :class:`~repro.engine.costmodel.OperationCounter` the **same
+totals**; the blocked path simply charges per block instead of per row,
+which is where its wall-clock advantage comes from (the simulated cost is
+the experiment observable and must not move).
 
 Joins and aggregation live in their own modules
 (:mod:`repro.engine.join`, :mod:`repro.engine.aggregate`).
@@ -15,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro import obs
+from repro.engine.block import RowBlock, iter_blocks
 from repro.engine.costmodel import ROWS_PER_PAGE, OperationCounter
 from repro.engine.errors import SchemaError
 from repro.engine.expr import Expression, resolve_column
@@ -33,6 +39,23 @@ class Operator:
     def rows(self) -> list[tuple]:
         """Materialize the operator's full output."""
         return list(self)
+
+    def blocks(self, block_size: int) -> Iterator[RowBlock]:
+        """Produce the same output as ``__iter__``, chunked into blocks.
+
+        The fallback wraps the row iterator, so any operator subclass is
+        block-capable (with row-granular charging); the engine's own
+        operators override it with genuinely chunked implementations that
+        charge the counter in bulk.
+        """
+        rows: list[tuple] = []
+        for row in self:
+            rows.append(row)
+            if len(rows) >= block_size:
+                yield RowBlock.from_rows(rows, self.layout)
+                rows = []
+        if rows:
+            yield RowBlock.from_rows(rows, self.layout)
 
 
 class SeqScan(Operator):
@@ -53,7 +76,7 @@ class SeqScan(Operator):
             for pos, name in enumerate(snapshot.schema.names)
         }
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _charge_scan_setup(self) -> int:
         rows = self.snapshot.count()
         self.counter.charge_pages(rows)
         recorder = obs.get_recorder()
@@ -63,9 +86,20 @@ class SeqScan(Operator):
             recorder.counter(
                 "engine.scan.pages", -(-rows // ROWS_PER_PAGE) if rows else 0
             )
+        return rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        self._charge_scan_setup()
         for row in self.snapshot.rows():
             self.counter.charge("tuple_cpu")
             yield row
+
+    def blocks(self, block_size: int) -> Iterator[RowBlock]:
+        self._charge_scan_setup()
+        charge = self.counter.charge
+        for block in iter_blocks(self.snapshot.row_list(), self.layout, block_size):
+            charge("tuple_cpu", len(block))
+            yield block
 
 
 class RowSource(Operator):
@@ -101,6 +135,12 @@ class RowSource(Operator):
             self.counter.charge("tuple_cpu")
             yield row
 
+    def blocks(self, block_size: int) -> Iterator[RowBlock]:
+        charge = self.counter.charge
+        for block in iter_blocks(self._rows, self.layout, block_size):
+            charge("tuple_cpu", len(block))
+            yield block
+
     def __len__(self) -> int:
         return len(self._rows)
 
@@ -113,12 +153,26 @@ class Filter(Operator):
         self.counter = child.counter
         self.layout = child.layout
         self._fn = predicate.compile(child.layout)
+        self._block_fn = predicate.compile_block(child.layout)
 
     def __iter__(self) -> Iterator[tuple]:
         for row in self.child:
             self.counter.charge("compares")
             if self._fn(row):
                 yield row
+
+    def blocks(self, block_size: int) -> Iterator[RowBlock]:
+        block_fn = self._block_fn
+        charge = self.counter.charge
+        for block in self.child.blocks(block_size):
+            charge("compares", len(block))
+            flags = block_fn(block)
+            if all(flags):
+                yield block  # nothing filtered: pass through zero-copy
+                continue
+            keep = [i for i, flag in enumerate(flags) if flag]
+            if keep:
+                yield block.take(keep)
 
 
 class Project(Operator):
@@ -138,6 +192,17 @@ class Project(Operator):
         for row in self.child:
             self.counter.charge("tuple_cpu")
             yield tuple(row[p] for p in positions)
+
+    def blocks(self, block_size: int) -> Iterator[RowBlock]:
+        positions = self._positions
+        charge = self.counter.charge
+        for block in self.child.blocks(block_size):
+            charge("tuple_cpu", len(block))
+            yield RowBlock.from_columns(
+                [block.column(p) for p in positions],
+                self.layout,
+                length=len(block),
+            )
 
 
 def merged_layout(

@@ -22,6 +22,8 @@ class Snapshot:
         self.table = table
         self.lsn = lsn
         self._count: int | None = None
+        self._visible: list[tuple] | None = None
+        self._lookup_cache: dict[tuple, list[tuple]] = {}
 
     @property
     def schema(self):
@@ -36,14 +38,33 @@ class Snapshot:
     def rows(self) -> Iterator[tuple]:
         """Iterate rows visible at this snapshot (no cost charged here;
         operators charge scans)."""
-        for version in self.table._versions:
-            if version.visible_at(self.lsn):
-                yield version.values
+        return iter(self.row_list())
+
+    def row_list(self) -> list[tuple]:
+        """All visible rows, materialized once and cached.
+
+        The visibility predicate at a fixed LSN is immutable even as the
+        table keeps mutating (later inserts have ``xmin > lsn``; later
+        deletes set ``xmax > lsn``, leaving visibility here unchanged), so
+        one pass over the versions serves every reader of this snapshot.
+        This is the per-block amortization of the chunked pipeline: a scan
+        checks visibility once per version total, not once per version per
+        downstream pull.  Callers must not mutate the returned list.
+        """
+        if self._visible is None:
+            lsn = self.lsn
+            self._visible = [
+                v.values
+                for v in self.table._versions
+                if v.xmin <= lsn and (v.xmax is None or v.xmax > lsn)
+            ]
+            self._count = len(self._visible)
+        return self._visible
 
     def count(self) -> int:
         """Number of visible rows (computed once, then cached)."""
         if self._count is None:
-            self._count = sum(1 for __ in self.rows())
+            self.row_list()
         return self._count
 
     def lookup(self, column: str, key: Hashable) -> list[tuple]:
@@ -52,6 +73,9 @@ class Snapshot:
         Raises ``LookupError`` if no index covers ``column``; operators use
         :meth:`has_index` to decide between index and scan access paths.
         """
+        cached = self._lookup_cache.get((column, key))
+        if cached is not None:
+            return cached
         index = self.table.index_on(column)
         if index is None:
             raise LookupError(f"no index on {self.name}.{column}")
@@ -60,6 +84,10 @@ class Snapshot:
             version = self.table.version(rid)
             if version.visible_at(self.lsn):
                 out.append(version.values)
+        # Visibility at a fixed LSN never changes, so the probe result is a
+        # pure function of (column, key) -- cache it for repeated join keys.
+        # Callers must not mutate the returned list.
+        self._lookup_cache[(column, key)] = out
         return out
 
     def has_index(self, column: str) -> bool:

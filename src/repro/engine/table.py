@@ -63,6 +63,89 @@ class ModEvent:
             raise ValueError(f"unknown modification kind {self.kind!r}")
 
 
+class ModLog:
+    """The shared, chunked modification log of one table.
+
+    There is exactly **one** ModLog per table; every
+    :class:`~repro.ivm.delta.DeltaTable` over that table is a zero-copy
+    ``(applied_lsn, seen_lsn)`` window into it, so N views hold N offset
+    pairs -- not N deques of event copies.
+
+    Structure: an append-only sequence of :class:`ModEvent`, stored as a
+    list of fixed-size chunks so very long histories avoid the large-list
+    reallocation pattern and a future truncation pass can drop whole
+    chunks.  The log enforces the invariant that makes windows O(1): every
+    table modification bumps the LSN by exactly one and appends exactly one
+    event, so the event with LSN ``L`` lives at log position ``L - 1`` and
+    any LSN range maps to a contiguous slice with no searching.
+    """
+
+    __slots__ = ("_chunks", "_chunk_size", "_length")
+
+    #: Events per chunk.  Large enough that chunk bookkeeping is noise,
+    #: small enough that a truncation pass has useful granularity.
+    DEFAULT_CHUNK_SIZE = 4096
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._chunks: list[list[ModEvent]] = []
+        self._chunk_size = chunk_size
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[ModEvent]:
+        for chunk in self._chunks:
+            yield from chunk
+
+    def append(self, event: ModEvent) -> None:
+        """Append the event for the next LSN (enforces the density invariant)."""
+        if event.lsn != self._length + 1:
+            raise ExecutionError(
+                f"modification log expects LSN {self._length + 1}, "
+                f"got {event.lsn}; the log must stay LSN-dense"
+            )
+        if not self._chunks or len(self._chunks[-1]) >= self._chunk_size:
+            self._chunks.append([])
+        self._chunks[-1].append(event)
+        self._length += 1
+
+    def window(self, lsn_from: int, lsn_to: int) -> list[ModEvent]:
+        """Events with ``lsn_from < lsn <= lsn_to``, oldest first.
+
+        O(window length): the range maps straight to log positions
+        ``[lsn_from, lsn_to)``; no scan over the rest of the history.
+        """
+        if not 0 <= lsn_from <= lsn_to <= self._length:
+            raise ExecutionError(
+                f"log window ({lsn_from}, {lsn_to}] outside [0, {self._length}]"
+            )
+        if lsn_from == lsn_to:
+            return []
+        cs = self._chunk_size
+        first, last = lsn_from // cs, (lsn_to - 1) // cs
+        if first == last:
+            return self._chunks[first][lsn_from % cs : (lsn_to - 1) % cs + 1]
+        out = self._chunks[first][lsn_from % cs :]
+        for i in range(first + 1, last):
+            out.extend(self._chunks[i])
+        out.extend(self._chunks[last][: (lsn_to - 1) % cs + 1])
+        return out
+
+    def __getitem__(self, position: int) -> ModEvent:
+        """The event at zero-based log position (= LSN - 1)."""
+        if not 0 <= position < self._length:
+            raise IndexError(f"log position {position} outside [0, {self._length})")
+        return self._chunks[position // self._chunk_size][
+            position % self._chunk_size
+        ]
+
+    def __repr__(self) -> str:
+        return f"ModLog(events={self._length}, chunks={len(self._chunks)})"
+
+
 class Table:
     """An append-only versioned heap with secondary indexes and a history."""
 
@@ -80,8 +163,10 @@ class Table:
         self._versions: list[RowVersion] = []
         self._live_count = 0
         self._lsn = 0
-        self.history: list[ModEvent] = []
+        #: The single shared modification log; delta tables window into it.
+        self.history = ModLog()
         self.indexes: dict[str, Index] = {}
+        self._index_on_cache: dict[str, Index | None] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -133,10 +218,19 @@ class Table:
             index.add(v.values[pos], rid)
         self.counter.charge("index_maintains", len(self._versions))
         self.indexes[index_name] = index
+        self._index_on_cache.clear()
         return index
 
     def index_on(self, column: str) -> Index | None:
-        """Any index whose key is ``column`` (hash preferred), else None."""
+        """Any index whose key is ``column`` (hash preferred), else None.
+
+        Resolution is cached per column (joins probe this once per lookup);
+        :meth:`create_index` and :meth:`vacuum` invalidate the cache.
+        """
+        try:
+            return self._index_on_cache[column]
+        except KeyError:
+            pass
         hash_hit = None
         sorted_hit = None
         for index in self.indexes.values():
@@ -147,7 +241,9 @@ class Table:
                     sorted_hit = index
         # Explicit None test: indexes define __len__, so an *empty* hash
         # index is falsy and `or` would wrongly skip it.
-        return hash_hit if hash_hit is not None else sorted_hit
+        hit = hash_hit if hash_hit is not None else sorted_hit
+        self._index_on_cache[column] = hit
+        return hit
 
     # ------------------------------------------------------------------
     # Modifications (each bumps the LSN and appends a ModEvent)
@@ -243,7 +339,7 @@ class Table:
 
     def events_between(self, lsn_from: int, lsn_to: int) -> list[ModEvent]:
         """History events with ``lsn_from < lsn <= lsn_to`` (a delta window)."""
-        return [e for e in self.history if lsn_from < e.lsn <= lsn_to]
+        return self.history.window(lsn_from, lsn_to)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -276,6 +372,7 @@ class Table:
             return 0
         self._versions = survivors
         self.counter.charge("row_writes", len(survivors))
+        self._index_on_cache.clear()
         # Rebuild every index against the surviving versions.
         for index_name, old_index in list(self.indexes.items()):
             column = old_index.column

@@ -18,12 +18,21 @@ modification history between two LSNs:
 between.  Taking a batch pops the ``k`` oldest events and advances
 ``applied_lsn`` to the last popped event -- FIFO order, exactly the
 processing discipline Section 3's analysis assumes.
+
+Storage: a delta table holds **no events at all** -- just the two LSNs.
+The events live once, in the owning table's shared chunked
+:class:`~repro.engine.table.ModLog`, and every read here is a contiguous
+window into it.  Eight views over one base table cost eight offset pairs,
+not eight copies of its history (``tests/integration/
+test_block_equivalence.py`` asserts the sharing).  This works because the
+log is LSN-dense (one event per LSN), so the window boundaries alone
+determine the batch: ``size == seen_lsn - applied_lsn`` is arithmetic, and
+``peek``/``take`` are O(k) slices.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
+from repro import obs
 from repro.engine.errors import ExecutionError
 from repro.engine.table import ModEvent, Table
 
@@ -33,36 +42,39 @@ class DeltaTable:
 
     def __init__(self, table: Table):
         self.table = table
+        #: The shared modification log (owned by the table, never copied).
+        self.log = table.history
         #: LSN up to which the view has incorporated this table.
         self.applied_lsn = table.current_lsn
-        #: LSN up to which events have been pulled into the queue.
+        #: LSN up to which events have been pulled into the window.
         self.seen_lsn = table.current_lsn
-        self._pending: deque[ModEvent] = deque()
 
     @property
     def size(self) -> int:
         """Number of unprocessed modifications (``s_t[i]`` in the paper)."""
-        return len(self._pending)
+        return self.seen_lsn - self.applied_lsn
 
     def pull(self) -> int:
-        """Ingest new base-table modifications into the queue.
+        """Extend the window over new base-table modifications.
 
         Returns the number of newly ingested events.  Call after base-table
         modifications to keep the delta table current; the maintainer does
-        this at every time step.
+        this at every time step.  O(1): the log is shared, so "ingesting"
+        is advancing ``seen_lsn``.
         """
-        events = self.table.events_between(self.seen_lsn, self.table.current_lsn)
-        for event in events:
-            self._pending.append(event)
-        if events:
-            self.seen_lsn = events[-1].lsn
-        return len(events)
+        current = self.table.current_lsn
+        new = current - self.seen_lsn
+        if new:
+            self.seen_lsn = current
+            obs.counter("ivm.delta.window_pulled", new)
+        return new
 
     def peek(self, k: int) -> list[ModEvent]:
         """The ``k`` oldest pending events, without removing them."""
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        return [self._pending[i] for i in range(min(k, len(self._pending)))]
+        upto = min(self.applied_lsn + k, self.seen_lsn)
+        return self.log.window(self.applied_lsn, upto)
 
     def take(self, k: int) -> list[ModEvent]:
         """Pop the ``k`` oldest events and advance ``applied_lsn``.
@@ -72,23 +84,20 @@ class DeltaTable:
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        if k > len(self._pending):
+        if k > self.size:
             raise ExecutionError(
-                f"cannot take {k} events; only {len(self._pending)} pending "
+                f"cannot take {k} events; only {self.size} pending "
                 f"for {self.table.name}"
             )
-        taken = [self._pending.popleft() for __ in range(k)]
-        if taken:
-            self.applied_lsn = taken[-1].lsn
-        elif not self._pending:
-            # Taking zero with an empty queue: the view is caught up with
-            # everything it has seen.
-            self.applied_lsn = self.seen_lsn
+        taken = self.log.window(self.applied_lsn, self.applied_lsn + k)
+        self.applied_lsn += k
+        if k:
+            obs.counter("ivm.delta.window_taken", k)
         return taken
 
     def take_all(self) -> list[ModEvent]:
         """Pop every pending event (a full flush of this delta table)."""
-        return self.take(len(self._pending))
+        return self.take(self.size)
 
     def __repr__(self) -> str:
         return (

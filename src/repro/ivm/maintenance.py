@@ -68,9 +68,21 @@ def apply_batch(view: MaterializedView, alias: str, k: int) -> None:
 
 
 def _apply_events(view: MaterializedView, alias: str, events) -> None:
-    """Propagate one peeked batch of delta events into the view."""
-    deleted = [e.old_values for e in events if e.old_values is not None]
-    inserted = [e.new_values for e in events if e.new_values is not None]
+    """Propagate one peeked batch of delta events into the view.
+
+    ``events`` is one contiguous window of the base table's shared
+    :class:`~repro.engine.table.ModLog`; a single pass splits it into the
+    deleted and inserted row batches (an update contributes to both), and
+    each batch flows through the rebased query as a whole -- the engine's
+    blocked pipeline chunks it from there.
+    """
+    deleted: list[tuple] = []
+    inserted: list[tuple] = []
+    for event in events:
+        if event.old_values is not None:
+            deleted.append(event.old_values)
+        if event.new_values is not None:
+            inserted.append(event.new_values)
 
     # Other base tables are read at the state the view has incorporated.
     snapshot_lsns = {
