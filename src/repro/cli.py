@@ -31,7 +31,19 @@ Observability (any subcommand)
     Chrome-trace-compatible JSONL (view in ``chrome://tracing`` or
     Perfetto); implies ``--metrics``.  See ``docs/observability.md``.
 
-Both flags are accepted before or after the subcommand, and experiment
+``--serve-metrics PORT``
+    Serve the live registry over HTTP while the subcommand runs:
+    ``/metrics`` (Prometheus text format), ``/healthz``, ``/snapshot``,
+    ``/samples``.  Port 0 picks a free port (printed to stderr).
+    Implies ``--metrics``.
+
+``--flight-recorder FILE``
+    Run a background sampler snapshotting the registry into a bounded
+    ring buffer (``--flight-interval-ms`` apart) and dump it as JSONL on
+    exit -- backlog-vs-time curves without bespoke experiment code.
+    Implies ``--metrics``.
+
+All flags are accepted before or after the subcommand, and experiment
 names work as top-level shorthand: ``repro fig6 --trace out.jsonl`` is
 ``repro experiment fig6 --trace out.jsonl``.
 """
@@ -75,6 +87,34 @@ def _obs_flags() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="record metrics and print a summary table on exit",
     )
+    parent.add_argument(
+        "--serve-metrics",
+        metavar="PORT",
+        type=int,
+        default=argparse.SUPPRESS,
+        help=(
+            "serve live metrics over HTTP while the command runs: "
+            "/metrics (Prometheus), /healthz, /snapshot, /samples; "
+            "port 0 picks a free port (implies --metrics)"
+        ),
+    )
+    parent.add_argument(
+        "--flight-recorder",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help=(
+            "sample the metrics registry into a bounded ring buffer in "
+            "the background and dump it as JSONL on exit "
+            "(implies --metrics)"
+        ),
+    )
+    parent.add_argument(
+        "--flight-interval-ms",
+        metavar="MS",
+        type=float,
+        default=argparse.SUPPRESS,
+        help="flight-recorder sampling period in milliseconds (default 50)",
+    )
     return parent
 
 
@@ -88,7 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         parents=[_obs_flags()],
     )
-    parser.set_defaults(trace=None, metrics=False)
+    parser.set_defaults(
+        trace=None,
+        metrics=False,
+        serve_metrics=None,
+        flight_recorder=None,
+        flight_interval_ms=50.0,
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     experiment = sub.add_parser(
@@ -177,7 +223,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sql": _run_sql,
         "timeline": _run_timeline,
     }[args.command]
-    if not (args.trace or args.metrics):
+    observed = (
+        args.trace
+        or args.metrics
+        or args.serve_metrics is not None
+        or args.flight_recorder
+    )
+    if not observed:
         return handler(args)
     return _run_observed(handler, args)
 
@@ -187,28 +239,68 @@ def _run_observed(handler, args) -> int:
 
     The recorder wraps the *entire* subcommand, so everything the run does
     -- calibration, planning, simulation, live maintenance -- lands in one
-    registry and one trace file.  Reports are emitted even when the
-    handler raises, so a failed run still leaves its evidence behind.
+    registry and one trace file.  With ``--serve-metrics`` the registry is
+    additionally scrapeable over HTTP *while* the command runs, and with
+    ``--flight-recorder`` a background sampler keeps a time series of it.
+    All reports are emitted in a ``finally`` block, so a run that raises
+    still flushes its trace file, flight-recorder samples and metrics
+    table -- a failed run leaves its evidence behind.
     """
     from repro import obs
 
-    if args.trace:
+    for destination in (args.trace, args.flight_recorder):
+        if not destination:
+            continue
         try:
             # Fail fast: a mistyped destination should surface now, not
-            # after minutes of experiment whose trace is then lost.
-            with open(args.trace, "w", encoding="utf-8"):
+            # after minutes of experiment whose output is then lost.
+            with open(destination, "w", encoding="utf-8"):
                 pass
         except OSError as exc:
-            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            print(f"error: cannot write {destination!r}: {exc}", file=sys.stderr)
             return 2
 
     recorder = obs.Recorder(trace=bool(args.trace))
+    flight = None
+    if args.flight_recorder:
+        from repro.obs.sampler import FlightRecorder
+
+        flight = FlightRecorder(
+            recorder, interval_s=max(args.flight_interval_ms, 1.0) / 1e3
+        )
+    server = None
+    if args.serve_metrics is not None:
+        from repro.obs.serve import MetricsServer
+
+        server = MetricsServer(recorder, port=args.serve_metrics, sampler=flight)
+        try:
+            port = server.start()
+        except OSError as exc:
+            print(f"error: cannot serve metrics: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"[obs] serving metrics on http://127.0.0.1:{port}/metrics "
+            f"(also /healthz, /snapshot, /samples)",
+            file=sys.stderr,
+        )
+    if flight is not None:
+        flight.start()
+
     obs.install(recorder)
     try:
         with obs.trace("cli.command", command=args.command):
             return handler(args)
     finally:
         obs.install(None)
+        if flight is not None:
+            flight.stop()  # takes a final sample before the dump
+            count = flight.dump_jsonl(args.flight_recorder)
+            print(
+                f"[obs] wrote {count} flight-recorder samples to "
+                f"{args.flight_recorder}"
+            )
+        if server is not None:
+            server.stop()
         print("\n" + recorder.summary_table())
         if args.trace:
             count = recorder.write_trace(args.trace)
@@ -329,7 +421,11 @@ def _run_timeline(args) -> int:
     from repro.core.astar import find_optimal_lgm_plan
     from repro.core.naive import NaivePolicy
     from repro.core.online import OnlinePolicy
-    from repro.core.report import compare_traces, render_trace_timeline
+    from repro.core.report import (
+        compare_traces,
+        render_trace_timeline,
+        slo_summary,
+    )
     from repro.core.simulator import execute_plan, simulate_policy
     from repro.experiments import common
     from repro.workloads.arrivals import uniform_arrivals
@@ -362,6 +458,8 @@ def _run_timeline(args) -> int:
         )
         print()
     print(compare_traces(problem, traces))
+    print()
+    print(slo_summary(problem, traces))
     return 0
 
 

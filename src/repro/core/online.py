@@ -217,13 +217,14 @@ class OnlinePolicy(Policy):
         if recorder is not None:
             recorder.counter("online.decisions")
             recorder.counter("online.candidates_scored", scored)
-            recorder.observe(
-                "online.predicted_time_to_full",
-                self.estimator.time_to_full(
-                    tuple(s - a for s, a in zip(pre_state, best_action)),
-                    self.cost_functions, self.limit,
-                ),
+            predicted = self.estimator.time_to_full(
+                tuple(s - a for s, a in zip(pre_state, best_action)),
+                self.cost_functions, self.limit,
             )
+            recorder.observe("online.predicted_time_to_full", predicted)
+            # TimeToFull *is* a predicted steps-until-the-margin-hits-zero
+            # estimate, so surface it in the SLO family too.
+            recorder.observe("slo.predicted_steps_to_breach", predicted)
         return best_action
 
     def __repr__(self) -> str:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.core.plan import PlanTrace
 from repro.core.problem import ProblemInstance
+from repro.obs import slo
 
 _BAR_WIDTH = 40
 
@@ -99,5 +100,47 @@ def compare_traces(
             f"{trace.action_count:>8d} "
             f"{trace.cost_per_modification():>10.3f} "
             f"{trace.peak_refresh_cost:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def slo_summary(
+    problem: ProblemInstance,
+    traces: dict[str, PlanTrace],
+    near_fraction: float = slo.DEFAULT_NEAR_FRACTION,
+) -> str:
+    """Per-policy refresh-SLO summary over finished traces.
+
+    For every step the *pre-action* state is the moment of truth: had a
+    refresh been demanded right then, its cost ``f(s_t)`` must fit the
+    constraint ``C``.  The table reports, per trace, how many steps
+    breached the deadline (cost > ``C``), how many came within the
+    near-breach band (cost >= ``near_fraction * C``), and the worst
+    margin.  Classification is shared with the live ``slo.*`` counters
+    (:func:`repro.obs.slo.classify`), so this offline table and an
+    observed run's ``slo.breaches`` always agree.
+    """
+    if not traces:
+        raise ValueError("need at least one trace to summarize")
+    limit = problem.limit
+    header = (
+        f"{'plan':<14s} {'steps':>7s} {'breaches':>9s} {'near':>6s} "
+        f"{'min margin':>11s} {'worst cost':>11s}"
+    )
+    lines = [
+        f"SLO: refresh-deadline margin C - f(s_t) at each step "
+        f"(C = {limit:.1f}; near-breach >= {near_fraction:.0%} of C)",
+        header,
+        "-" * len(header),
+    ]
+    for name, trace in traces.items():
+        costs = [problem.refresh_cost(pre) for pre in trace.pre_states]
+        kinds = [slo.classify(limit, cost, near_fraction) for cost in costs]
+        breaches = sum(1 for k in kinds if k == slo.BREACH)
+        near = sum(1 for k in kinds if k == slo.NEAR_BREACH)
+        worst = max(costs) if costs else 0.0
+        lines.append(
+            f"{name:<14s} {len(costs):>7d} {breaches:>9d} {near:>6d} "
+            f"{limit - worst:>+11.1f} {worst:>11.1f}"
         )
     return "\n".join(lines)

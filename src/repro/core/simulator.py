@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 
 from repro import obs
+from repro.obs import slo
 from repro.core.plan import Plan, PlanTrace
 from repro.core.policies import Policy, PolicyError
 from repro.core.problem import (
@@ -116,9 +117,18 @@ def _trace(
     state = zero_vector(problem.n)
     peak = 0.0
     total = 0.0
+    recorder = obs.get_recorder()  # per-step SLO hooks gate on it
+    source = metadata.get("source", "simulator")
     for t in range(problem.horizon + 1):
         state = add_vectors(state, problem.arrivals[t])
         pre_states.append(state)
+        if recorder is not None:
+            # The paper's operational guarantee, step by step: had a
+            # refresh been demanded *now*, would it have met C?
+            slo.observe_refresh(
+                problem.limit, problem.refresh_cost(state),
+                t=t, source=source,
+            )
         cost = problem.refresh_cost(plan.actions[t])
         action_costs.append(cost)
         total += cost

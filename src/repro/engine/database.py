@@ -20,9 +20,15 @@ asymmetric delta-processing cost functions the paper exploits.
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping, Sequence
 
 from repro import obs
+
+#: Blocked-execution fill ratio below which a query is flagged: the
+#: result cardinality is so far under ``block_size`` that most of each
+#: block is slack (groundwork for adaptive block sizing, see ROADMAP).
+LOW_FILL_THRESHOLD = 0.25
 from repro.engine.aggregate import Aggregate
 from repro.engine.block import DEFAULT_BLOCK_SIZE
 from repro.engine.costmodel import CostModel, OperationCounter
@@ -56,6 +62,7 @@ class Database:
         self.counter = OperationCounter(model=cost_model or CostModel())
         self.tables: dict[str, Table] = {}
         self.block_size = block_size
+        self._low_fill_warned = False
 
     # ------------------------------------------------------------------
     # DDL
@@ -198,14 +205,31 @@ class Database:
         for block in plan.blocks(self.block_size):
             n_blocks += 1
             rows.extend(block.rows())
+        fill = len(rows) / (n_blocks * self.block_size) if n_blocks else None
         recorder = obs.get_recorder()
         if recorder is not None:
             recorder.counter("engine.block.blocks", n_blocks)
             recorder.counter("engine.block.rows_out", len(rows))
-            if n_blocks:
-                recorder.observe(
-                    "engine.block.fill", len(rows) / (n_blocks * self.block_size)
-                )
+            if fill is not None:
+                recorder.observe("engine.block.fill", fill)
+                if fill < LOW_FILL_THRESHOLD:
+                    recorder.counter("engine.block.low_fill")
+        if (
+            fill is not None
+            and fill < LOW_FILL_THRESHOLD
+            and not self._low_fill_warned
+        ):
+            # Once per Database: repeated queries with the same shape
+            # would otherwise flood stderr with identical advice.
+            self._low_fill_warned = True
+            warnings.warn(
+                f"blocked execution fill {fill:.1%} is below "
+                f"{LOW_FILL_THRESHOLD:.0%} (block_size={self.block_size}, "
+                f"{len(rows)} rows over {n_blocks} block(s)); a smaller "
+                f"block_size would waste less per-block slack",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         return rows
 
     def _apply_order(self, rows, order_by, layout):

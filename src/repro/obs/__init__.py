@@ -30,6 +30,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.export import prometheus_name, render_prometheus
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -38,6 +39,9 @@ from repro.obs.metrics import (
     check_name,
 )
 from repro.obs.recorder import Recorder
+from repro.obs.sampler import FlightRecorder
+from repro.obs.serve import MetricsServer
+from repro.obs import slo
 from repro.obs.tracing import (
     NULL_SPAN,
     NullSpan,
@@ -48,9 +52,11 @@ from repro.obs.tracing import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "NullSpan",
     "Recorder",
     "Span",
@@ -60,9 +66,13 @@ __all__ = [
     "gauge_max",
     "get_recorder",
     "install",
+    "install_in_thread",
     "observe",
+    "prometheus_name",
     "read_jsonl",
     "recording",
+    "render_prometheus",
+    "slo",
     "trace",
     "write_jsonl",
 ]
@@ -89,6 +99,33 @@ def recording(trace: bool = False) -> Iterator[Recorder]:
     """
     previous = get_recorder()
     recorder = Recorder(trace=trace)
+    install(recorder)
+    try:
+        yield recorder
+    finally:
+        install(previous)
+
+
+@contextmanager
+def install_in_thread(recorder: Recorder | None) -> Iterator[Recorder | None]:
+    """Adopt an existing recorder on the calling (worker) thread.
+
+    ``obs.install`` binds per-thread, so work submitted to a thread pool
+    records nothing unless each worker opts in.  Wrap the worker body::
+
+        rec = obs.get_recorder()          # on the submitting thread
+        def work(item):
+            with obs.install_in_thread(rec):
+                ...                        # obs.* helpers now record
+        pool.map(work, items)
+
+    The previous binding (usually none -- pool threads start clean) is
+    restored on exit, so adoption nests and pooled threads can serve
+    differently-observed runs back to back.  The metric classes lock
+    their own state, so concurrent workers may share one recorder.
+    :meth:`Recorder.wrap` packages this pattern around a callable.
+    """
+    previous = get_recorder()
     install(recorder)
     try:
         yield recorder

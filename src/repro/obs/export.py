@@ -1,0 +1,107 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+Renders the registry in the classic Prometheus text format (version
+0.0.4), the one every scraper and ``curl`` understands:
+
+* :class:`~repro.obs.metrics.Counter` -> a ``counter`` sample with the
+  conventional ``_total`` suffix;
+* :class:`~repro.obs.metrics.Gauge` -> a ``gauge`` sample plus a
+  ``<name>_peak`` companion gauge (unset gauges are omitted);
+* :class:`~repro.obs.metrics.Histogram` -> a ``summary`` family:
+  ``p50``/``p95`` as ``quantile``-labelled samples, exact ``_sum`` and
+  ``_count``, plus ``_min``/``_max`` companion gauges.  An empty
+  histogram renders only ``_sum 0`` and ``_count 0`` (no quantiles --
+  there is no distribution to summarize yet).
+
+Dotted metric names map to the Prometheus grammar by replacing every
+character outside ``[a-zA-Z0-9_:]`` with ``_`` (``slo.refresh_margin``
+becomes ``slo_refresh_margin``).  The mapping is not guaranteed
+injective in general, but the repository's dotted catalog never
+collides; :func:`render_prometheus` raises on a collision rather than
+silently merging two metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Characters allowed in a Prometheus metric name (after the first).
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles exposed for every non-empty histogram.
+SUMMARY_QUANTILES: tuple[float, ...] = (0.5, 0.95)
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def prometheus_name(name: str) -> str:
+    """The dotted metric name mapped onto the Prometheus grammar."""
+    flat = _INVALID_CHARS.sub("_", name)
+    if not flat or flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def format_value(value: float) -> str:
+    """One sample value in exposition syntax (``+Inf``/``-Inf``/``NaN``)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _family(lines: list[str], name: str, kind: str, help_text: str) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry as Prometheus text exposition (0.0.4)."""
+    lines: list[str] = []
+    seen: dict[str, str] = {}
+    for metric in registry:
+        base = prometheus_name(metric.name)
+        clash = seen.get(base)
+        if clash is not None:
+            raise ValueError(
+                f"metrics {clash!r} and {metric.name!r} both map to "
+                f"Prometheus name {base!r}"
+            )
+        seen[base] = metric.name
+        help_text = f"repro metric {metric.name!r}"
+        if isinstance(metric, Counter):
+            _family(lines, f"{base}_total", "counter", help_text)
+            lines.append(f"{base}_total {format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            state = metric.snapshot()
+            if state["value"] is None:
+                continue  # never set: nothing meaningful to expose
+            _family(lines, base, "gauge", help_text)
+            lines.append(f"{base} {format_value(state['value'])}")
+            _family(lines, f"{base}_peak", "gauge", help_text + " (peak)")
+            lines.append(f"{base}_peak {format_value(state['peak'])}")
+        elif isinstance(metric, Histogram):
+            _family(lines, base, "summary", help_text)
+            if metric.count:
+                for q in SUMMARY_QUANTILES:
+                    lines.append(
+                        f'{base}{{quantile="{q}"}} '
+                        f"{format_value(metric.quantile(q))}"
+                    )
+            lines.append(f"{base}_sum {format_value(metric.total)}")
+            lines.append(f"{base}_count {format_value(metric.count)}")
+            if metric.count:
+                _family(lines, f"{base}_min", "gauge", help_text + " (min)")
+                lines.append(f"{base}_min {format_value(metric.min)}")
+                _family(lines, f"{base}_max", "gauge", help_text + " (max)")
+                lines.append(f"{base}_max {format_value(metric.max)}")
+        else:  # pragma: no cover - registry only holds the three kinds
+            raise TypeError(f"unknown metric kind: {metric!r}")
+    return "\n".join(lines) + "\n" if lines else ""

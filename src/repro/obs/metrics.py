@@ -15,6 +15,12 @@ Three metric kinds:
   summaries (batch sizes, per-step latencies).  Bounded by reservoir
   sampling so unboundedly long runs cannot exhaust memory; counts and
   totals stay exact, quantiles become approximate past the reservoir.
+
+Every mutation and snapshot takes a per-metric lock, so a registry can be
+written by worker threads (``obs.install_in_thread``) and scraped live by
+the ``/metrics`` endpoint mid-run without torn reads.  The locks are
+uncontended in single-threaded runs and hot loops batch their tallies, so
+the enabled path stays within the observability overhead budget.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 import math
 import random
 import re
+import threading
 from typing import Iterator
 
 #: Dotted metric names: segments of letters/digits/underscores/dashes.
@@ -45,16 +52,18 @@ class Counter:
     """Monotonically increasing event count."""
 
     kind = "counter"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r}: negative inc {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         return {"type": "counter", "value": self.value}
@@ -64,19 +73,21 @@ class Gauge:
     """Last-write-wins instantaneous value, with the running peak."""
 
     kind = "gauge"
-    __slots__ = ("name", "value", "peak", "_set")
+    __slots__ = ("name", "value", "peak", "_set", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
         self.peak = float("-inf")
         self._set = False
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         value = float(value)
-        self.value = value
-        self.peak = value if not self._set else max(self.peak, value)
-        self._set = True
+        with self._lock:
+            self.peak = value if not self._set else max(self.peak, value)
+            self.value = value
+            self._set = True
 
     def set_max(self, value: float) -> None:
         """Keep the maximum of all reported values (peak tracking)."""
@@ -98,7 +109,7 @@ class Histogram:
     kind = "histogram"
     __slots__ = (
         "name", "count", "total", "min", "max",
-        "_reservoir", "_reservoir_size", "_rng",
+        "_reservoir", "_reservoir_size", "_rng", "_lock",
     )
 
     def __init__(self, name: str, reservoir_size: int = RESERVOIR_SIZE):
@@ -110,22 +121,24 @@ class Histogram:
         self._reservoir: list[float] = []
         self._reservoir_size = reservoir_size
         self._rng = random.Random(0xC0FFEE)  # deterministic sampling
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        if len(self._reservoir) < self._reservoir_size:
-            self._reservoir.append(value)
-        else:
-            # Vitter's algorithm R: keep each sample with prob size/count.
-            j = self._rng.randrange(self.count)
-            if j < self._reservoir_size:
-                self._reservoir[j] = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._reservoir) < self._reservoir_size:
+                self._reservoir.append(value)
+            else:
+                # Vitter's algorithm R: keep each sample with prob size/count.
+                j = self._rng.randrange(self.count)
+                if j < self._reservoir_size:
+                    self._reservoir[j] = value
 
     @property
     def mean(self) -> float:
@@ -135,9 +148,10 @@ class Histogram:
         """Nearest-rank quantile over the (possibly sampled) values."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
-        if not self._reservoir:
+        with self._lock:
+            ordered = sorted(self._reservoir)
+        if not ordered:
             return 0.0
-        ordered = sorted(self._reservoir)
         rank = max(1, math.ceil(q * len(ordered)))
         return ordered[rank - 1]
 
@@ -161,14 +175,18 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, factory):
         metric = self._metrics.get(name)
         if metric is None:
             check_name(name)
-            metric = factory(name)
-            self._metrics[name] = metric
-        elif not isinstance(metric, factory):
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory(name)
+                    self._metrics[name] = metric
+        if not isinstance(metric, factory):
             raise TypeError(
                 f"metric {name!r} already registered as {metric.kind}, "
                 f"not {factory.kind}"
@@ -190,11 +208,13 @@ class MetricsRegistry:
 
     def names(self, prefix: str = "") -> list[str]:
         """Sorted metric names, optionally restricted to a dotted prefix."""
+        with self._lock:
+            names = list(self._metrics)
         if not prefix:
-            return sorted(self._metrics)
+            return sorted(names)
         dotted = prefix if prefix.endswith(".") else prefix + "."
         return sorted(
-            n for n in self._metrics if n == prefix or n.startswith(dotted)
+            n for n in names if n == prefix or n.startswith(dotted)
         )
 
     def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:

@@ -1,0 +1,144 @@
+"""Flight recorder: periodic registry snapshots in a bounded ring buffer.
+
+The metrics registry only answers "what happened so far"; backlog-vs-time
+curves, SLO-margin timelines and scrape-free postmortems need "what was
+the state at each moment".  :class:`FlightRecorder` runs a daemon thread
+that snapshots a :class:`~repro.obs.recorder.Recorder`'s registry every
+``interval_s`` seconds into a ``deque(maxlen=capacity)`` -- a true ring
+buffer, so arbitrarily long runs keep the most recent window at a fixed
+memory bound instead of growing without limit.
+
+Samples are plain dicts ``{"t_s": <seconds since recorder creation>,
+"metrics": <registry snapshot>}`` and dump as JSONL
+(:meth:`FlightRecorder.dump_jsonl`), so plotting a metric over time is a
+``read_jsonl`` + list comprehension away -- no bespoke experiment code.
+The CLI's ``--flight-recorder FILE`` flag wires one around any
+subcommand; the ``/samples`` endpoint of
+:class:`~repro.obs.serve.MetricsServer` serves the live buffer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from pathlib import Path
+
+from repro.obs.recorder import Recorder
+from repro.obs.tracing import write_jsonl
+
+#: Default sampling period (seconds).
+DEFAULT_INTERVAL_S = 0.05
+
+#: Default ring-buffer capacity (samples).
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """Samples a recorder's registry on a fixed period into a ring buffer.
+
+    Use as a context manager, or call :meth:`start`/:meth:`stop`
+    explicitly.  :meth:`sample_now` takes one synchronous sample and is
+    all the tests and deterministic tooling need -- the background thread
+    is just ``sample_now`` on a timer.
+    """
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.recorder = recorder
+        self.interval_s = float(interval_s)
+        self.capacity = int(capacity)
+        self._samples: deque[dict] = deque(maxlen=capacity)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample_now(self) -> dict:
+        """Take one snapshot immediately; returns the stored sample."""
+        sample = {
+            "t_s": round(self.recorder.now_us() / 1e6, 6),
+            "metrics": self.recorder.registry.snapshot(),
+        }
+        self._samples.append(sample)
+        return sample
+
+    def start(self) -> "FlightRecorder":
+        """Begin background sampling (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="obs-flight-recorder", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the sampler thread; optionally take one last snapshot.
+
+        The final sample makes short runs (which may finish inside the
+        first interval) still leave evidence behind.
+        """
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+        if final_sample:
+            self.sample_now()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_now()
+
+    def __enter__(self) -> "FlightRecorder":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> list[dict]:
+        """The buffered samples, oldest first."""
+        return list(self._samples)
+
+    def series(self, name: str, field: str = "value") -> list[tuple[float, float]]:
+        """``(t_s, metrics[name][field])`` pairs across the buffer.
+
+        ``field`` picks the snapshot key: ``"value"`` for counters and
+        gauges, ``"count"``/``"mean"``/``"p50"``/``"p95"``/``"max"`` for
+        histograms.  Samples missing the metric or the field are skipped,
+        so a series can start mid-run.
+        """
+        points: list[tuple[float, float]] = []
+        for sample in self._samples:
+            state = sample["metrics"].get(name)
+            if state is None:
+                continue
+            value = state.get(field)
+            if value is None:
+                continue
+            points.append((sample["t_s"], value))
+        return points
+
+    def dump_jsonl(self, path: str | Path) -> int:
+        """Write the buffer as JSONL (one sample per line); returns count."""
+        return write_jsonl(self.samples(), path)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder(samples={len(self._samples)}/{self.capacity}, "
+            f"interval_s={self.interval_s})"
+        )

@@ -1,0 +1,186 @@
+"""Stdlib HTTP endpoint serving a live recorder: ``/metrics``, ``/healthz``.
+
+Long-running workloads (the ``timeline`` simulation, the pub/sub broker,
+the staged simulator) should be observable *mid-run*, not only from the
+exit summary.  :class:`MetricsServer` wraps an
+:class:`http.server.ThreadingHTTPServer` on a daemon thread and serves:
+
+``/metrics``
+    Prometheus text exposition of the recorder's registry
+    (:func:`repro.obs.export.render_prometheus`) -- scrapeable by a real
+    Prometheus or just ``curl``.
+``/healthz``
+    JSON liveness: status, uptime, metric and sample counts.
+``/snapshot``
+    The raw registry snapshot as JSON (same shape the benchmark results
+    persist), for tooling that wants exact values instead of exposition.
+``/samples``
+    The attached :class:`~repro.obs.sampler.FlightRecorder` ring buffer
+    as JSONL (404 when no sampler is attached).
+
+Zero dependencies, thread-safe against the instrumented run (the metric
+classes lock their own state), and activated from the CLI with the
+global ``--serve-metrics PORT`` flag.  Binding port 0 picks a free port;
+:meth:`MetricsServer.start` returns the actual one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export import CONTENT_TYPE, render_prometheus
+from repro.obs.recorder import Recorder
+from repro.obs.sampler import FlightRecorder
+
+
+class _ObsServer(ThreadingHTTPServer):
+    """HTTP server carrying the observed run's state for the handler."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    recorder: Recorder
+    sampler: FlightRecorder | None
+    started_at: float
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+    server: _ObsServer
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes must not spam the run's stdout/stderr
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = render_prometheus(self.server.recorder.registry)
+            self._reply(200, CONTENT_TYPE, body.encode("utf-8"))
+        elif path in ("/healthz", "/health"):
+            payload = {
+                "status": "ok",
+                "uptime_s": round(time.time() - self.server.started_at, 3),
+                "metrics": len(self.server.recorder.registry),
+                "samples": (
+                    len(self.server.sampler)
+                    if self.server.sampler is not None
+                    else None
+                ),
+            }
+            self._reply_json(200, payload)
+        elif path == "/snapshot":
+            self._reply_json(200, self.server.recorder.registry.snapshot())
+        elif path == "/samples":
+            sampler = self.server.sampler
+            if sampler is None:
+                self._reply_json(404, {"error": "no flight recorder attached"})
+                return
+            body = "".join(
+                json.dumps(sample, sort_keys=True) + "\n"
+                for sample in sampler.samples()
+            )
+            self._reply(200, "application/x-ndjson", body.encode("utf-8"))
+        else:
+            self._reply_json(
+                404,
+                {
+                    "error": f"no route {path!r}",
+                    "routes": ["/metrics", "/healthz", "/snapshot", "/samples"],
+                },
+            )
+
+    def _reply_json(self, status: int, payload: object) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._reply(status, "application/json", body)
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class MetricsServer:
+    """Serves one recorder over HTTP from a daemon thread.
+
+    Parameters
+    ----------
+    recorder:
+        The run's :class:`~repro.obs.recorder.Recorder` to expose.
+    port:
+        TCP port to bind; ``0`` picks a free one (the default, right for
+        tests).  :meth:`start` returns the bound port either way.
+    host:
+        Bind address; loopback by default -- metrics can leak workload
+        details, so exposing beyond the machine is an explicit choice.
+    sampler:
+        Optional :class:`FlightRecorder` backing the ``/samples`` route.
+    """
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        sampler: FlightRecorder | None = None,
+    ):
+        self.recorder = recorder
+        self.requested_port = int(port)
+        self.host = host
+        self.sampler = sampler
+        self._server: _ObsServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Bind and serve in the background; returns the actual port."""
+        if self._server is not None:
+            return self.port
+        server = _ObsServer((self.host, self.requested_port), _Handler)
+        server.recorder = self.recorder
+        server.sampler = self.sampler
+        server.started_at = time.time()
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="obs-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and release the port (idempotent)."""
+        server, thread = self._server, self._thread
+        self._server = self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._server is None:
+            return self.requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "serving" if self._server is not None else "stopped"
+        return f"MetricsServer({self.url}, {state})"

@@ -25,6 +25,7 @@ from typing import Any, Iterator
 from repro.engine.database import Database
 from repro.ivm.maintainer import ViewMaintainer
 from repro.ivm.view import MaterializedView
+from repro.obs import slo
 from repro.pubsub.subscription import Subscription
 
 
@@ -120,6 +121,15 @@ class PubSubBroker:
             if triggered:
                 # Refresh: process *all* pending modifications, measure it.
                 record = registration.maintainer.refresh(t)
+                # The refresh is the guarantee's moment of truth: record
+                # the deadline margin and fire any registered SLO alert
+                # callbacks (these run even without a recorder installed).
+                slo.observe_refresh(
+                    subscription.limit,
+                    record.predicted_cost,
+                    t=t,
+                    source=f"pubsub:{subscription.name}",
+                )
                 new_result = self._result_of(registration.view)
                 notification = Notification(
                     subscription=subscription.name,

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
+from repro.obs import slo
 from repro.core.policies import PolicyError
 from repro.staged.model import Pipeline
 from repro.staged.policies import StagedPolicy
@@ -56,6 +58,7 @@ def simulate_staged(
     if limit < 0:
         raise ValueError(f"limit must be >= 0, got {limit}")
     policy.reset(pipeline, limit)
+    recorder = obs.get_recorder()  # per-step SLO hooks gate on it
     state = pipeline.zero_state()
     horizon = len(arrivals) - 1
     action_costs: list[float] = []
@@ -69,6 +72,10 @@ def simulate_staged(
         entry = list(state)
         entry[0] += int(arriving)
         pre = tuple(entry)
+        if recorder is not None:
+            slo.observe_refresh(
+                limit, pipeline.flush_cost(pre), t=t, source="staged"
+            )
         if t == horizon:
             depth = pipeline.depth  # forced refresh
         else:

@@ -1,5 +1,7 @@
 """Integration tests for QuerySpec execution through the Database facade."""
 
+import warnings
+
 import pytest
 
 from repro.engine.database import Database
@@ -209,3 +211,37 @@ class TestDDL:
         before = toy_db.counter.startups
         toy_db.execute(QuerySpec(base_alias="E", base_table="emp"))
         assert toy_db.counter.startups == before + 1
+
+
+class TestLowFillWarning:
+    """Blocked execution warns when most of each block is slack."""
+
+    def test_warns_once_per_database(self, toy_db):
+        spec = QuerySpec(base_alias="E", base_table="emp")
+        with pytest.warns(RuntimeWarning, match="below 25%"):
+            toy_db.execute(spec)  # 5 rows in a 256-row block: 2% fill
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            toy_db.execute(spec)  # same shape again: stays silent
+
+    def test_low_fill_counter_under_recording(self, toy_db):
+        from repro import obs
+
+        spec = QuerySpec(base_alias="E", base_table="emp")
+        with pytest.warns(RuntimeWarning):
+            with obs.recording() as rec:
+                toy_db.execute(spec)
+        assert rec.registry.get("engine.block.low_fill").value >= 1
+        fill = rec.registry.get("engine.block.fill")
+        assert fill.count >= 1
+        assert fill.max < 0.25
+
+    def test_full_blocks_stay_silent(self):
+        db = Database(block_size=5)
+        table = db.create_table("t", Schema.of(k=ColumnType.INT))
+        for i in range(5):
+            table.insert((i,))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = db.execute(QuerySpec(base_alias="T", base_table="t"))
+        assert len(result) == 5

@@ -1,0 +1,163 @@
+"""Tests for Prometheus text-format rendering of the metrics registry."""
+
+import re
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.export import (
+    format_value,
+    prometheus_name,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+# One exposition sample line: name, optional labels, value.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9].*|[+-]Inf|NaN)$"
+)
+
+
+def _samples(text: str) -> list[str]:
+    return [line for line in text.splitlines() if not line.startswith("#")]
+
+
+class TestNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("slo.refresh_margin") == "slo_refresh_margin"
+        assert prometheus_name("engine.join.nl.rows_in") == (
+            "engine_join_nl_rows_in"
+        )
+
+    def test_dashes_and_leading_digit(self):
+        assert prometheus_name("a-b.c") == "a_b_c"
+        assert prometheus_name("7zip.runs") == "_7zip_runs"
+
+
+class TestValues:
+    def test_integers_render_bare(self):
+        assert format_value(3.0) == "3"
+        assert format_value(-2) == "-2"
+
+    def test_floats_and_specials(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+
+class TestCounter:
+    def test_rendered_with_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("astar.expanded").inc(41)
+        text = render_prometheus(registry)
+        assert "# TYPE astar_expanded_total counter" in text
+        assert "astar_expanded_total 41" in text.splitlines()
+
+
+class TestGauge:
+    def test_rendered_with_peak_companion(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("slo.refresh_margin")
+        gauge.set(9.0)
+        gauge.set(4.5)
+        lines = render_prometheus(registry).splitlines()
+        assert "slo_refresh_margin 4.5" in lines
+        assert "slo_refresh_margin_peak 9" in lines
+
+    def test_unset_gauge_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("idle.gauge")
+        assert render_prometheus(registry) == ""
+
+
+class TestHistogram:
+    def test_rendered_as_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("simulator.backlog")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        text = render_prometheus(registry)
+        lines = text.splitlines()
+        assert "# TYPE simulator_backlog summary" in text
+        assert 'simulator_backlog{quantile="0.5"} 2' in lines
+        assert 'simulator_backlog{quantile="0.95"} 4' in lines
+        assert "simulator_backlog_sum 10" in lines
+        assert "simulator_backlog_count 4" in lines
+        assert "simulator_backlog_min 1" in lines
+        assert "simulator_backlog_max 4" in lines
+
+    def test_empty_histogram_has_count_but_no_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("ivm.flush.batch_size")
+        lines = render_prometheus(registry).splitlines()
+        assert "ivm_flush_batch_size_sum 0" in lines
+        assert "ivm_flush_batch_size_count 0" in lines
+        assert not any("quantile" in line for line in lines)
+        assert not any("_min" in line or "_max" in line for line in lines)
+
+
+class TestWholeRegistry:
+    def test_every_kind_renders_valid_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("a.events").inc(7)
+        registry.gauge("b.level").set(1.25)
+        registry.histogram("c.sizes").observe(10)
+        registry.histogram("d.empty")
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        for line in _samples(text):
+            assert _SAMPLE_RE.match(line), line
+
+    def test_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.counter("a-b").inc()
+        with pytest.raises(ValueError, match="both map"):
+            render_prometheus(registry)
+
+
+_NAME_SEGMENT = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+_DOTTED = st.lists(_NAME_SEGMENT, min_size=1, max_size=3).map(".".join)
+_FINITE = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+
+class TestPropertyRendering:
+    @given(
+        counters=st.dictionaries(
+            _DOTTED, st.integers(min_value=0, max_value=10**12), max_size=5
+        ),
+        gauges=st.dictionaries(_DOTTED, _FINITE, max_size=5),
+        histograms=st.dictionaries(
+            _DOTTED, st.lists(_FINITE, max_size=20), max_size=5
+        ),
+    )
+    def test_arbitrary_registry_renders_valid_lines(
+        self, counters, gauges, histograms
+    ):
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.counter(name).inc(value)
+        for name, value in gauges.items():
+            try:
+                registry.gauge(name).set(value)
+            except TypeError:
+                continue  # name already registered as another kind
+        for name, values in histograms.items():
+            try:
+                hist = registry.histogram(name)
+            except TypeError:
+                continue
+            for v in values:
+                hist.observe(v)
+        try:
+            text = render_prometheus(registry)
+        except ValueError:
+            return  # flattened-name collision: correctly rejected
+        for line in _samples(text):
+            assert _SAMPLE_RE.match(line), line
+        # every registered metric contributes at least one sample
+        for name in counters:
+            assert prometheus_name(name) + "_total" in text

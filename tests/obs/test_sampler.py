@@ -1,0 +1,102 @@
+"""Tests for the flight recorder (ring-buffer registry sampler)."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.sampler import FlightRecorder
+from repro.obs.tracing import read_jsonl
+
+
+class TestSampling:
+    def test_sample_now_snapshots_registry(self):
+        recorder = obs.Recorder()
+        recorder.counter("work.items", 5)
+        flight = FlightRecorder(recorder, interval_s=60)
+        sample = flight.sample_now()
+        assert sample["metrics"]["work.items"]["value"] == 5
+        assert sample["t_s"] >= 0
+        assert len(flight) == 1
+
+    def test_samples_ordered_and_independent(self):
+        recorder = obs.Recorder()
+        flight = FlightRecorder(recorder, interval_s=60)
+        recorder.counter("work.items", 1)
+        flight.sample_now()
+        recorder.counter("work.items", 1)
+        flight.sample_now()
+        values = [
+            s["metrics"]["work.items"]["value"] for s in flight.samples()
+        ]
+        assert values == [1, 2]
+
+    def test_ring_buffer_bounds_memory(self):
+        recorder = obs.Recorder()
+        flight = FlightRecorder(recorder, interval_s=60, capacity=3)
+        for i in range(10):
+            recorder.gauge("step", i)
+            flight.sample_now()
+        assert len(flight) == 3
+        kept = [s["metrics"]["step"]["value"] for s in flight.samples()]
+        assert kept == [7.0, 8.0, 9.0]
+
+    def test_validation(self):
+        recorder = obs.Recorder()
+        with pytest.raises(ValueError):
+            FlightRecorder(recorder, interval_s=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(recorder, capacity=0)
+
+
+class TestSeries:
+    def test_counter_and_histogram_series(self):
+        recorder = obs.Recorder()
+        flight = FlightRecorder(recorder, interval_s=60)
+        flight.sample_now()  # before the metric exists: skipped
+        recorder.counter("n", 2)
+        recorder.observe("lat", 10.0)
+        flight.sample_now()
+        recorder.counter("n", 3)
+        recorder.observe("lat", 20.0)
+        flight.sample_now()
+        assert [v for _, v in flight.series("n")] == [2, 5]
+        assert [v for _, v in flight.series("lat", "p95")] == [10.0, 20.0]
+        assert flight.series("missing") == []
+        times = [t for t, _ in flight.series("n")]
+        assert times == sorted(times)
+
+
+class TestBackgroundThread:
+    def test_start_stop_collects_samples(self):
+        recorder = obs.Recorder()
+        recorder.counter("alive")
+        with FlightRecorder(recorder, interval_s=0.005) as flight:
+            deadline = time.time() + 5
+            while len(flight) == 0 and time.time() < deadline:
+                time.sleep(0.005)
+        # stop() adds a final sample even if the timer never fired
+        assert len(flight) >= 1
+        assert flight.samples()[-1]["metrics"]["alive"]["value"] == 1
+
+    def test_stop_is_idempotent(self):
+        flight = FlightRecorder(obs.Recorder(), interval_s=0.005)
+        flight.start()
+        flight.stop()
+        flight.stop(final_sample=False)
+        assert len(flight) == 1  # exactly one final sample
+
+
+class TestDump:
+    def test_jsonl_round_trip(self, tmp_path):
+        recorder = obs.Recorder()
+        flight = FlightRecorder(recorder, interval_s=60)
+        recorder.counter("evts", 4)
+        recorder.observe("ms", 2.5)
+        flight.sample_now()
+        flight.sample_now()
+        path = tmp_path / "flight.jsonl"
+        assert flight.dump_jsonl(path) == 2
+        loaded = read_jsonl(path)
+        assert loaded == flight.samples()
+        assert loaded[0]["metrics"]["evts"]["value"] == 4

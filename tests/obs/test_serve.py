@@ -1,0 +1,132 @@
+"""Tests for the live metrics HTTP endpoint."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.sampler import FlightRecorder
+from repro.obs.serve import MetricsServer
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+@pytest.fixture
+def served():
+    recorder = obs.Recorder()
+    recorder.counter("engine.queries", 3)
+    recorder.gauge("slo.refresh_margin", 12.5)
+    recorder.observe("astar.plan_cost", 99.0)
+    sampler = FlightRecorder(recorder, interval_s=60)
+    sampler.sample_now()
+    server = MetricsServer(recorder, port=0, sampler=sampler)
+    server.start()
+    try:
+        yield recorder, server
+    finally:
+        server.stop()
+
+
+class TestRoutes:
+    def test_metrics_prometheus_exposition(self, served):
+        recorder, server = served
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        assert "engine_queries_total 3" in body
+        assert "slo_refresh_margin 12.5" in body
+        assert "astar_plan_cost_count 1" in body
+
+    def test_healthz(self, served):
+        _, server = served
+        status, _, body = _get(server.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["metrics"] == 3
+        assert payload["samples"] == 1
+        assert payload["uptime_s"] >= 0
+
+    def test_snapshot_matches_registry(self, served):
+        recorder, server = served
+        _, _, body = _get(server.url + "/snapshot")
+        assert json.loads(body) == recorder.registry.snapshot()
+
+    def test_samples_jsonl(self, served):
+        _, server = served
+        status, headers, body = _get(server.url + "/samples")
+        assert status == 200
+        lines = [line for line in body.splitlines() if line]
+        assert len(lines) == 1
+        sample = json.loads(lines[0])
+        assert "t_s" in sample and "metrics" in sample
+
+    def test_unknown_route_404(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url + "/nope")
+        assert err.value.code == 404
+
+    def test_port_zero_binds_a_real_port(self, served):
+        _, server = served
+        assert server.port > 0
+        assert str(server.port) in server.url
+
+
+class TestNoSampler:
+    def test_samples_404_without_flight_recorder(self):
+        with MetricsServer(obs.Recorder(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/samples")
+            assert err.value.code == 404
+
+    def test_healthz_reports_null_samples(self):
+        with MetricsServer(obs.Recorder(), port=0) as server:
+            _, _, body = _get(server.url + "/healthz")
+            assert json.loads(body)["samples"] is None
+
+
+class TestLiveScrape:
+    def test_scrape_while_workload_is_running(self):
+        """/metrics answers mid-run while another thread records."""
+        recorder = obs.Recorder()
+        stop = threading.Event()
+        started = threading.Event()
+
+        def workload():
+            with obs.install_in_thread(recorder):
+                while not stop.is_set():
+                    obs.counter("live.events")
+                    obs.observe("live.latency_ms", 1.0)
+                    started.set()
+
+        worker = threading.Thread(target=workload, daemon=True)
+        with MetricsServer(recorder, port=0) as server:
+            worker.start()
+            assert started.wait(timeout=5)
+            try:
+                for _ in range(3):
+                    _, _, body = _get(server.url + "/metrics")
+                    assert "live_events_total" in body
+            finally:
+                stop.set()
+                worker.join(timeout=5)
+
+    def test_stop_releases_port(self):
+        recorder = obs.Recorder()
+        server = MetricsServer(recorder, port=0)
+        port = server.start()
+        server.stop()
+        # the same port is bindable again immediately
+        rebound = MetricsServer(recorder, port=port)
+        try:
+            assert rebound.start() == port
+        finally:
+            rebound.stop()

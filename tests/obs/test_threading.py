@@ -1,0 +1,82 @@
+"""Worker threads adopting a recorder: the parallel-pipeline groundwork."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+
+
+class TestInstallInThread:
+    def test_pool_workers_record_into_shared_recorder(self):
+        recorder = obs.Recorder()
+
+        def work(n):
+            with obs.install_in_thread(recorder):
+                obs.counter("pool.items")
+                obs.observe("pool.payload", n)
+                return n
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(work, range(100)))
+
+        assert sorted(results) == list(range(100))
+        assert recorder.registry.get("pool.items").value == 100
+        hist = recorder.registry.get("pool.payload")
+        assert hist.count == 100
+        assert hist.total == sum(range(100))
+
+    def test_worker_binding_is_restored(self):
+        recorder = obs.Recorder()
+
+        def work(_):
+            with obs.install_in_thread(recorder):
+                pass
+            return obs.get_recorder()  # after the block: clean again
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            leftovers = list(pool.map(work, range(8)))
+        assert leftovers == [None] * 8
+
+    def test_adoption_nests(self):
+        outer = obs.Recorder()
+        inner = obs.Recorder()
+        with obs.install_in_thread(outer):
+            with obs.install_in_thread(inner):
+                obs.counter("x")
+                assert obs.get_recorder() is inner
+            assert obs.get_recorder() is outer
+        assert obs.get_recorder() is None
+        assert inner.registry.get("x").value == 1
+        assert outer.registry.get("x") is None
+
+    def test_recorder_wrap_carries_into_pool(self):
+        recorder = obs.Recorder()
+
+        def work(n):
+            obs.counter("wrapped.items")
+            return n * 2
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(recorder.wrap(work), range(50)))
+
+        assert results == [n * 2 for n in range(50)]
+        assert recorder.registry.get("wrapped.items").value == 50
+
+    def test_spans_nest_per_thread(self):
+        recorder = obs.Recorder(trace=True)
+
+        def work(n):
+            with obs.install_in_thread(recorder):
+                with obs.trace("pool.task", n=n):
+                    pass
+            return n
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(work, range(20)))
+        events = [
+            e for e in recorder.trace_events(include_metrics=False)
+            if e["name"] == "pool.task"
+        ]
+        assert len(events) == 20
+        # every task span is a root on its own thread (no cross-thread
+        # parenting corruption)
+        assert all(e["parent"] is None for e in events)

@@ -1,11 +1,14 @@
 """Tests for span tracing, the recorder, and JSONL export."""
 
+import tempfile
 import threading
+from pathlib import Path
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro import obs
-from repro.obs.tracing import NULL_SPAN, read_jsonl
+from repro.obs.tracing import NULL_SPAN, read_jsonl, write_jsonl
 
 
 class TestDisabled:
@@ -128,3 +131,69 @@ class TestExport:
             with obs.trace("simulator.simulate_policy"):
                 pass
         assert "simulator.simulate_policy.ms" in rec.summary_table()
+
+
+_ATTR_VALUE = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),  # includes unicode, quotes, newlines
+    st.booleans(),
+    st.none(),
+)
+_ATTRS = st.dictionaries(
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_"
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    _ATTR_VALUE,
+    max_size=4,
+)
+
+
+class TestJsonlRoundTripProperty:
+    """write_jsonl -> read_jsonl is the identity on recorded traces."""
+
+    @given(
+        spans=st.lists(
+            st.tuples(
+                st.sampled_from(["astar.search", "ivm.flush", "engine.io"]),
+                _ATTRS,
+                st.integers(min_value=0, max_value=2),  # nesting depth
+            ),
+            max_size=8,
+        ),
+        counters=st.dictionaries(
+            st.sampled_from(["rows", "events", "slo.breaches"]),
+            st.integers(min_value=1, max_value=10**9),
+            max_size=3,
+        ),
+    )
+    def test_round_trip_preserves_events(self, spans, counters):
+        with obs.recording(trace=True) as rec:
+            for name, attrs, depth in spans:
+                stack = []
+                for level in range(depth + 1):
+                    span = obs.trace(f"{name}.d{level}" if level else name)
+                    stack.append(span)
+                    span.__enter__()
+                    span.set(**attrs)
+                for span in reversed(stack):
+                    span.__exit__(None, None, None)
+            for name, value in counters.items():
+                obs.counter(name, value)
+        events = rec.trace_events()
+        # hypothesis forbids function-scoped fixtures, so no tmp_path here
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "trace.jsonl"
+            count = write_jsonl(events, path)
+            loaded = read_jsonl(path)
+        assert count == len(events)
+        assert loaded == events
+        # Span nesting ids survive: each child's parent id is present.
+        by_id = {e["id"]: e for e in loaded if e.get("ph") == "X"}
+        for event in by_id.values():
+            if event["parent"] is not None:
+                assert event["parent"] in by_id

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import urllib.request
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -108,6 +110,9 @@ class TestTimelineCommand:
         assert "=== ONLINE ===" in out
         assert "flush[" in out
         assert "vs best" in out
+        # SLO summary rides along with every timeline run.
+        assert "SLO: refresh-deadline margin" in out
+        assert "breaches" in out
 
     def test_adapt_and_optimal_variants(self, capsys):
         code = main(
@@ -121,6 +126,124 @@ class TestTimelineCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "OPT_LGM" in out and "ADAPT" in out
+
+
+class TestObservedFailure:
+    """--trace must leave its evidence behind even when the run dies."""
+
+    def test_failing_command_still_flushes_trace_and_metrics(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+        from repro.obs.tracing import read_jsonl
+
+        def exploding_handler(args):
+            from repro import obs
+
+            obs.counter("doomed.work", 3)
+            raise RuntimeError("midway failure")
+
+        monkeypatch.setattr(cli, "_run_experiment", exploding_handler)
+        trace_file = tmp_path / "crash.trace.jsonl"
+        with pytest.raises(RuntimeError, match="midway failure"):
+            main(["--trace", str(trace_file), "experiment", "bounds"])
+
+        out = capsys.readouterr().out
+        # The metrics table and the trace file were still written.
+        assert "doomed.work" in out
+        assert "[obs] wrote" in out
+        events = read_jsonl(trace_file)
+        span = next(e for e in events if e["name"] == "cli.command")
+        assert span["args"]["error"] == "RuntimeError"
+
+    def test_failing_command_still_dumps_flight_samples(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli
+        from repro.obs.tracing import read_jsonl
+
+        monkeypatch.setattr(
+            cli,
+            "_run_experiment",
+            lambda args: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        flight_file = tmp_path / "crash.flight.jsonl"
+        with pytest.raises(RuntimeError):
+            main(["--flight-recorder", str(flight_file), "experiment", "bounds"])
+        samples = read_jsonl(flight_file)
+        assert samples  # stop() takes a final sample before the dump
+        assert "metrics" in samples[-1]
+
+    def test_unwritable_destination_fails_fast(self, tmp_path, capsys):
+        code = main(
+            ["--trace", str(tmp_path / "no" / "such" / "dir.jsonl"),
+             "experiment", "bounds"]
+        )
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestServeMetricsFlag:
+    def test_scrape_during_timeline_run(self, capsys, monkeypatch):
+        """The acceptance check: /metrics is live during a timeline run and
+        exposes slo_refresh_margin plus engine metrics."""
+        import repro.cli as cli
+        from repro.experiments import common
+        from repro.obs.serve import MetricsServer
+
+        # Calibration is cached per (scale, seed); clear it so this run
+        # re-calibrates *under the recorder* and engine metrics show up
+        # in the scrape, no matter which test ran first.
+        common.calibrated_costs.cache_clear()
+
+        ports = []
+        original_start = MetricsServer.start
+
+        def recording_start(self):
+            port = original_start(self)
+            ports.append(port)
+            return port
+
+        monkeypatch.setattr(MetricsServer, "start", recording_start)
+
+        bodies = []
+        original_timeline = cli._run_timeline
+
+        def scraping_timeline(args):
+            code = original_timeline(args)
+            # Still inside the observed block: the server is up.
+            url = f"http://127.0.0.1:{ports[0]}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                bodies.append(response.read().decode())
+            return code
+
+        monkeypatch.setattr(cli, "_run_timeline", scraping_timeline)
+        code = main(
+            [
+                "--serve-metrics", "0",
+                "timeline",
+                "--scale", "0.002",
+                "--horizon", "30",
+                "--policies", "naive",
+            ]
+        )
+        assert code == 0
+        assert "[obs] serving metrics" in capsys.readouterr().err
+        (body,) = bodies
+        assert "slo_refresh_margin " in body
+        assert "slo_steps_total" in body
+        assert "engine_" in body  # calibration ran through the engine
+
+    def test_flight_recorder_dumps_jsonl_on_success(self, tmp_path, capsys):
+        from repro.obs.tracing import read_jsonl
+
+        out_file = tmp_path / "flight.jsonl"
+        code = main(["--flight-recorder", str(out_file), "experiment", "bounds"])
+        assert code == 0
+        assert "flight-recorder samples" in capsys.readouterr().out
+        samples = read_jsonl(out_file)
+        assert samples
+        assert all("t_s" in s and "metrics" in s for s in samples)
 
 
 class TestExperimentCommand:

@@ -1,0 +1,109 @@
+"""Tests for the benchmark trajectory dashboard generator."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.report_trajectory import (
+    build_dashboard,
+    load_results,
+    main,
+    render_html,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def _result(name, wall=1.5, metrics=None, params=None):
+    return {
+        "name": name,
+        "wall_time_s": wall,
+        "params": params or {"scale": 0.01},
+        "metrics": metrics or {},
+    }
+
+
+class TestLoadResults:
+    def test_loads_sorted_and_skips_junk(self, tmp_path, capsys):
+        (tmp_path / "b.json").write_text(json.dumps(_result("bravo")))
+        (tmp_path / "a.json").write_text(json.dumps(_result("alpha")))
+        (tmp_path / "broken.json").write_text("{not json")
+        (tmp_path / "other.json").write_text(json.dumps({"no": "name"}))
+        results = load_results(tmp_path)
+        assert [r["name"] for r in results] == ["alpha", "bravo"]
+        err = capsys.readouterr().err
+        assert "broken.json" in err and "other.json" in err
+
+    def test_loads_all_committed_results(self):
+        results = load_results(RESULTS_DIR)
+        assert len(results) >= 17
+        assert all("wall_time_s" in r for r in results)
+
+
+class TestDashboard:
+    def test_contains_wall_time_and_metric_tables(self):
+        results = [
+            _result(
+                "fig6",
+                wall=2.0,
+                metrics={
+                    "slo.breaches": {"kind": "counter", "value": 4},
+                    "engine.block.fill": {
+                        "kind": "histogram", "count": 2, "mean": 0.75,
+                    },
+                },
+            ),
+            _result("fig1", wall=1.0),
+        ]
+        text = build_dashboard(results)
+        assert "| benchmark |" in text
+        assert "| fig1 |" in text and "| fig6 |" in text
+        assert "SLO breaches" in text
+        # 2.0 + 1.0 summed in the footer
+        assert "Total recorded wall time: **3.00 s**" in text
+
+    def test_long_params_truncated(self):
+        params = {f"k{i}": "v" * 10 for i in range(20)}
+        text = build_dashboard([_result("big", params=params)])
+        row = next(line for line in text.splitlines() if "| big |" in line)
+        assert "..." in row
+        assert len(row) < 250
+
+    def test_committed_results_render(self):
+        text = build_dashboard(load_results(RESULTS_DIR))
+        for name in ("fig6_refresh_time", "bounds_study"):
+            assert name in text
+
+
+class TestHtml:
+    def test_tables_become_html_tables(self):
+        markdown = build_dashboard([_result("fig1")])
+        html = render_html(markdown)
+        assert "<table>" in html and "</table>" in html
+        assert "<th>benchmark</th>" in html
+        assert "fig1" in html
+
+
+class TestMain:
+    def test_writes_markdown_and_html(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "r.json").write_text(json.dumps(_result("solo")))
+        out = tmp_path / "dash.md"
+        html = tmp_path / "dash.html"
+        code = main(
+            [
+                "--results", str(results),
+                "--out", str(out),
+                "--html", str(html),
+            ]
+        )
+        assert code == 0
+        assert "solo" in out.read_text()
+        assert "<table>" in html.read_text()
+
+    def test_empty_results_dir_fails(self, tmp_path, capsys):
+        code = main(["--results", str(tmp_path)])
+        assert code == 1
+        assert "no benchmark results" in capsys.readouterr().err
