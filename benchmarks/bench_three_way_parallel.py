@@ -1,0 +1,93 @@
+"""Three-way scheduling at SF 0.1: serial vs parallel block pipeline.
+
+Replays the n = 3 asymmetric-scheduling experiment with the engine's
+default worker count forced to a pool (`set_default_workers`, the same
+mechanism as the global `--workers` CLI flag), and compares against the
+serial run.  The simulated plan costs -- the paper's observable -- must
+be byte-identical; wall time per mode and the host core count are
+recorded in ``results/three_way_parallel.json`` so multi-core and
+single-core runs are distinguishable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from benchmarks._report import report
+from repro.engine import parallel
+from repro.experiments.three_way import ThreeWayResult, run_three_way
+
+SCALE = 0.1
+WORKERS = 4
+
+
+@dataclass
+class ThreeWayParallelResult:
+    serial: ThreeWayResult
+    parallel: ThreeWayResult
+    serial_wall_s: float
+    parallel_wall_s: float
+    cpu_count: int
+
+    def format(self) -> str:
+        return "\n".join(
+            [
+                f"three_way at SF {SCALE}: serial vs workers={WORKERS} "
+                f"({self.cpu_count} cpu core(s))",
+                f"{'mode':<10} {'wall_s':>8}   opt / naive / online cost",
+                f"{'serial':<10} {self.serial_wall_s:>8.2f}   "
+                f"{self.serial.opt_cost:.2f} / {self.serial.naive_cost:.2f}"
+                f" / {self.serial.online_cost:.2f}",
+                f"{'parallel':<10} {self.parallel_wall_s:>8.2f}   "
+                f"{self.parallel.opt_cost:.2f} / "
+                f"{self.parallel.naive_cost:.2f} / "
+                f"{self.parallel.online_cost:.2f}",
+                "simulated cost tables byte-identical across modes",
+            ]
+        )
+
+
+def _timed_run(workers: int) -> tuple[ThreeWayResult, float]:
+    parallel.set_default_workers(workers)
+    try:
+        start = time.perf_counter()
+        result = run_three_way(scale=SCALE)
+        return result, time.perf_counter() - start
+    finally:
+        parallel.set_default_workers(None)
+
+
+def run_three_way_parallel() -> ThreeWayParallelResult:
+    serial, serial_wall = _timed_run(0)
+    pooled, pooled_wall = _timed_run(WORKERS)
+    return ThreeWayParallelResult(
+        serial=serial,
+        parallel=pooled,
+        serial_wall_s=serial_wall,
+        parallel_wall_s=pooled_wall,
+        cpu_count=os.cpu_count() or 1,
+    )
+
+
+def bench_three_way_parallel(run_once):
+    result = run_once(run_three_way_parallel)
+    report(
+        "three_way_parallel",
+        result.format(),
+        params={
+            "scale": SCALE,
+            "workers": WORKERS,
+            "cpu_count": result.cpu_count,
+            "serial_wall_s": round(result.serial_wall_s, 3),
+            "parallel_wall_s": round(result.parallel_wall_s, 3),
+        },
+    )
+    # Simulated costs are the observable: the pool must not move them.
+    for field in ("opt_cost", "naive_cost", "online_cost"):
+        assert getattr(result.parallel, field) == getattr(
+            result.serial, field
+        ), f"{field} diverges under workers={WORKERS}"
+    # Wall-clock parity gate; a real win needs real cores.
+    assert result.parallel_wall_s < 3.0 * result.serial_wall_s

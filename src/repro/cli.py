@@ -43,6 +43,21 @@ Observability (any subcommand)
     exit -- backlog-vs-time curves without bespoke experiment code.
     Implies ``--metrics``.
 
+Execution (any subcommand)
+--------------------------
+
+``--workers N``
+    Run eligible scan/filter/project chains as parallel block pipelines
+    on an ``N``-worker pool (see :mod:`repro.engine.parallel`).  Charging
+    stays centralized at the merge point, so all simulated costs are
+    byte-identical to serial runs; only wall-clock changes.  ``0``
+    (default) stays serial.  Overrides the ``REPRO_WORKERS`` environment
+    variable for the run.
+
+``--parallel-backend {thread,process}``
+    Pool flavor for ``--workers``: threads (default) or the opt-in
+    multiprocessing pool for CPU-bound expression evaluation.
+
 All flags are accepted before or after the subcommand, and experiment
 names work as top-level shorthand: ``repro fig6 --trace out.jsonl`` is
 ``repro experiment fig6 --trace out.jsonl``.
@@ -115,6 +130,28 @@ def _obs_flags() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="flight-recorder sampling period in milliseconds (default 50)",
     )
+    parent.add_argument(
+        "--workers",
+        metavar="N",
+        type=int,
+        default=argparse.SUPPRESS,
+        help=(
+            "execute eligible scan/filter/project chains as parallel "
+            "block pipelines on an N-worker pool (simulated costs are "
+            "unchanged; 0 = serial, the default; overrides the "
+            "REPRO_WORKERS environment variable)"
+        ),
+    )
+    parent.add_argument(
+        "--parallel-backend",
+        choices=["thread", "process"],
+        default=argparse.SUPPRESS,
+        help=(
+            "worker-pool backend for --workers: 'thread' (default) or "
+            "'process' (multiprocessing, for CPU-bound expression "
+            "evaluation)"
+        ),
+    )
     return parent
 
 
@@ -134,6 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
         serve_metrics=None,
         flight_recorder=None,
         flight_interval_ms=50.0,
+        workers=None,
+        parallel_backend=None,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -229,9 +268,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         or args.serve_metrics is not None
         or args.flight_recorder
     )
-    if not observed:
-        return handler(args)
-    return _run_observed(handler, args)
+    if args.workers is None and args.parallel_backend is None:
+        if not observed:
+            return handler(args)
+        return _run_observed(handler, args)
+    # ``--workers``/``--parallel-backend`` configure the process-global
+    # defaults every Database the subcommand builds will resolve; restore
+    # them afterwards so embedding callers (and tests) see no leakage.
+    from repro.engine import parallel
+
+    try:
+        if args.workers is not None:
+            parallel.set_default_workers(args.workers)
+        if args.parallel_backend is not None:
+            parallel.set_default_backend(args.parallel_backend)
+        if not observed:
+            return handler(args)
+        return _run_observed(handler, args)
+    finally:
+        parallel.set_default_workers(None)
+        parallel.set_default_backend(None)
 
 
 def _run_observed(handler, args) -> int:

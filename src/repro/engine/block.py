@@ -113,7 +113,20 @@ class RowBlock:
         return col
 
     def take(self, indices: Sequence[int]) -> "RowBlock":
-        """A new block keeping only the rows at ``indices`` (in order)."""
+        """A new block keeping only the rows at ``indices`` (in order).
+
+        Column-major blocks gather column-by-column and stay column-major:
+        forcing the row view here would pay a full transpose of every
+        column (including ones a downstream projection will drop) and
+        discard the columnar layout the pipeline is built around.
+        Row-major blocks gather their row tuples directly.
+        """
+        if self._columns is not None:
+            return RowBlock.from_columns(
+                [[column[i] for i in indices] for column in self._columns],
+                self.layout,
+                length=len(indices),
+            )
         rows = self.rows()
         return RowBlock.from_rows([rows[i] for i in indices], self.layout)
 

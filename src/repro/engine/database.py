@@ -29,6 +29,7 @@ from repro import obs
 #: result cardinality is so far under ``block_size`` that most of each
 #: block is slack (groundwork for adaptive block sizing, see ROADMAP).
 LOW_FILL_THRESHOLD = 0.25
+from repro.engine import parallel as parallel_mod
 from repro.engine.aggregate import Aggregate
 from repro.engine.block import DEFAULT_BLOCK_SIZE
 from repro.engine.costmodel import CostModel, OperationCounter
@@ -36,6 +37,7 @@ from repro.engine.errors import SchemaError
 from repro.engine.expr import Expression, resolve_column
 from repro.engine.join import HashJoin, IndexNestedLoopJoin
 from repro.engine.operators import Filter, Operator, Project, RowSource, SeqScan
+from repro.engine.parallel import ParallelBlockExecutor
 from repro.engine.query import QueryResult, QuerySpec
 from repro.engine.table import Table
 from repro.engine.types import Schema
@@ -50,19 +52,49 @@ class Database:
     modes produce identical results and identical simulated costs (see
     ``tests/integration/test_block_equivalence.py``); blocks are simply
     faster in wall-clock terms.
+
+    ``workers`` adds pipeline parallelism on top of blocked execution:
+    with ``workers >= 1``, eligible scan→filter→project chains fan their
+    blocks out to a worker pool and merge in block order, with all cost
+    charging centralized at the merge point
+    (:mod:`repro.engine.parallel`) -- so simulated costs remain identical
+    to serial execution.  ``workers=None`` (the default) defers to the
+    process-global default: the CLI's ``--workers`` flag, else the
+    ``REPRO_WORKERS`` environment variable, else serial.
+    ``parallel_backend`` picks ``"thread"`` (default) or the opt-in
+    ``"process"`` pool for CPU-bound expression evaluation; call
+    :meth:`close` (or use the database as a context manager) to release
+    pool workers deterministically.
     """
 
     def __init__(
         self,
         cost_model: CostModel | None = None,
         block_size: int | None = DEFAULT_BLOCK_SIZE,
+        workers: int | None = None,
+        parallel_backend: str | None = None,
     ):
         if block_size is not None and block_size < 1:
             raise ValueError(f"block_size must be >= 1 or None, got {block_size}")
         self.counter = OperationCounter(model=cost_model or CostModel())
         self.tables: dict[str, Table] = {}
         self.block_size = block_size
+        self.workers = parallel_mod.resolve_workers(workers)
+        self.parallel_backend = parallel_mod.resolve_backend(parallel_backend)
+        self._parallel: ParallelBlockExecutor | None = None
         self._low_fill_warned = False
+
+    def close(self) -> None:
+        """Release the parallel worker pool, if one was started (idempotent)."""
+        executor, self._parallel = self._parallel, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # DDL
@@ -196,37 +228,76 @@ class Database:
             rows = rows[: spec.limit]
         return QueryResult(rows=rows, columns=columns)
 
+    def _parallel_executor(self) -> ParallelBlockExecutor:
+        if self._parallel is None:
+            self._parallel = ParallelBlockExecutor(
+                self.workers, backend=self.parallel_backend
+            )
+        return self._parallel
+
     def _pull(self, plan: Operator) -> list[tuple]:
-        """Drain a plan's output, blocked or row-at-a-time per config."""
+        """Drain a plan's output, blocked or row-at-a-time per config.
+
+        With ``workers >= 1`` and a parallelizable plan (a pure
+        scan→filter→project chain), blocks are evaluated on the worker
+        pool and merged here in block order; every other plan shape uses
+        the serial blocked pipeline.  Both paths charge identical costs.
+        """
         if self.block_size is None:
             return plan.rows()
+        blocks = None
+        if self.workers >= 1:
+            chain = parallel_mod.decompose_chain(plan)
+            if chain is not None:
+                blocks = self._parallel_executor().execute(
+                    chain, self.block_size, self.counter
+                )
+        if blocks is None:
+            blocks = plan.blocks(self.block_size)
         rows: list[tuple] = []
         n_blocks = 0
-        for block in plan.blocks(self.block_size):
+        last_len = 0
+        for block in blocks:
             n_blocks += 1
+            last_len = len(block)
             rows.extend(block.rows())
         fill = len(rows) / (n_blocks * self.block_size) if n_blocks else None
+        # Low-fill accounting excludes the natural tail: almost every
+        # result ends in one partial block, so counting it would flag
+        # every short query.  Only fill observed over the *preceding*
+        # blocks (mid-stream slack, e.g. from selective filters) is a
+        # signal that block_size is oversized for the workload.
+        if n_blocks and last_len < self.block_size:
+            accounted_blocks = n_blocks - 1
+            accounted_rows = len(rows) - last_len
+        else:
+            accounted_blocks, accounted_rows = n_blocks, len(rows)
+        accounted_fill = (
+            accounted_rows / (accounted_blocks * self.block_size)
+            if accounted_blocks
+            else None
+        )
+        low_fill = (
+            accounted_fill is not None and accounted_fill < LOW_FILL_THRESHOLD
+        )
         recorder = obs.get_recorder()
         if recorder is not None:
             recorder.counter("engine.block.blocks", n_blocks)
             recorder.counter("engine.block.rows_out", len(rows))
             if fill is not None:
                 recorder.observe("engine.block.fill", fill)
-                if fill < LOW_FILL_THRESHOLD:
-                    recorder.counter("engine.block.low_fill")
-        if (
-            fill is not None
-            and fill < LOW_FILL_THRESHOLD
-            and not self._low_fill_warned
-        ):
+            if low_fill:
+                recorder.counter("engine.block.low_fill")
+        if low_fill and not self._low_fill_warned:
             # Once per Database: repeated queries with the same shape
             # would otherwise flood stderr with identical advice.
             self._low_fill_warned = True
             warnings.warn(
-                f"blocked execution fill {fill:.1%} is below "
+                f"blocked execution fill {accounted_fill:.1%} is below "
                 f"{LOW_FILL_THRESHOLD:.0%} (block_size={self.block_size}, "
-                f"{len(rows)} rows over {n_blocks} block(s)); a smaller "
-                f"block_size would waste less per-block slack",
+                f"{accounted_rows} rows over {accounted_blocks} non-tail "
+                f"block(s)); a smaller block_size would waste less "
+                f"per-block slack",
                 RuntimeWarning,
                 stacklevel=3,
             )

@@ -152,6 +152,10 @@ class Filter(Operator):
         self.child = child
         self.counter = child.counter
         self.layout = child.layout
+        #: The uncompiled predicate tree.  The parallel executor ships it
+        #: (not the closures below, which cannot pickle) to process-backend
+        #: workers, which compile it against the same layout.
+        self.predicate = predicate
         self._fn = predicate.compile(child.layout)
         self._block_fn = predicate.compile_block(child.layout)
 
@@ -181,6 +185,7 @@ class Project(Operator):
     def __init__(self, child: Operator, columns: Sequence[str]):
         self.child = child
         self.counter = child.counter
+        self.columns = tuple(columns)
         positions = [resolve_column(name, child.layout) for name in columns]
         self._positions = positions
         self.layout = {name: i for i, name in enumerate(columns)}

@@ -1,0 +1,458 @@
+"""Parallel block pipelines: independent :class:`RowBlock` tasks on a pool.
+
+The RowBlock refactor made the chunk the engine's unit of *work*; this
+module makes it the unit of *scheduling*.  A scan→filter→project chain
+has no cross-block data flow, so its blocks can be evaluated
+concurrently -- the shape high-throughput IVM engines (DBToaster-style
+delta pipelines) get their speed from -- provided three invariants hold:
+
+1. **Charging stays centralized.**  Workers never touch the shared
+   :class:`~repro.engine.costmodel.OperationCounter`.  Each task runs
+   charge-free compiled kernels over its block and returns a *local
+   tally* of exactly what serial execution would have charged; the
+   single-threaded merge loop replays each tally into the real counter
+   as it consumes results **in block order**.  Simulated page/CPU costs
+   are therefore bit-identical to serial and row-mode execution (the
+   PR 3 invariant, enforced by
+   ``tests/integration/test_block_equivalence.py``), and
+   ``counter.window()`` brackets still mean what they meant.
+2. **Results merge in block order.**  The merge yields output blocks in
+   submission order regardless of completion order, so result rows are
+   byte-identical to serial execution.
+3. **Workers adopt the run's recorder.**  Thread workers run under
+   :meth:`~repro.obs.recorder.Recorder.wrap` /
+   ``obs.install_in_thread``, so per-task instrumentation
+   (``engine.parallel.worker_busy_ms``) lands in the same registry as
+   the merge thread's metrics.
+
+Two backends:
+
+``"thread"`` (default)
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  No pickling, no
+    process spin-up; under the GIL it overlaps rather than multiplies
+    pure-Python kernel time, so its value is pipeline overlap and the
+    scheduling machinery itself.
+``"process"`` (opt-in)
+    A :class:`~concurrent.futures.ProcessPoolExecutor` for CPU-bound
+    ``compile_block`` expression evaluation.  Compiled closures do not
+    pickle, so tasks carry the expression *tree* plus raw row tuples and
+    the worker compiles kernels on arrival
+    (:func:`~repro.engine.expr.compile_block_cached` memoizes per
+    process).  Worth it when per-row expression work dominates the
+    per-block IPC cost; see ``benchmarks/bench_parallel_pipeline.py``.
+
+Configuration precedence for the pool size: an explicit
+``Database(workers=N)`` argument, else the process-global default set by
+:func:`set_default_workers` (the CLI's ``--workers N`` flag), else the
+``REPRO_WORKERS`` environment variable, else ``0`` (serial).  Workers
+``>= 1`` route eligible plans through the pool; ``0`` keeps the serial
+blocked pipeline.  The backend resolves the same way through
+``--parallel-backend`` / ``REPRO_PARALLEL_BACKEND``.
+
+Metric family (see ``docs/observability.md``): ``engine.parallel.queries``,
+``.tasks``, ``.queue_depth``, ``.merge_wait_ms``, ``.worker_busy_ms``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import weakref
+from collections import deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro import obs
+from repro.engine.block import RowBlock, iter_blocks
+from repro.engine.costmodel import OperationCounter
+from repro.engine.expr import Expression, compile_block_cached
+from repro.engine.operators import Filter, Operator, Project, RowSource, SeqScan
+
+#: Environment variable supplying the default worker count (CI's
+#: ``REPRO_WORKERS=4`` tier-1 leg runs the whole suite through the pool).
+WORKERS_ENV = "REPRO_WORKERS"
+#: Environment variable supplying the default backend.
+BACKEND_ENV = "REPRO_PARALLEL_BACKEND"
+#: Supported pool backends.
+BACKENDS = ("thread", "process")
+
+#: Blocks in flight per worker before the merge loop applies
+#: backpressure.  Bounds peak memory (at most ``workers * WINDOW`` blocks
+#: materialized ahead of the merge) while keeping every worker fed.
+SUBMIT_WINDOW_PER_WORKER = 4
+
+_defaults_lock = threading.Lock()
+_default_workers: int | None = None
+_default_backend: str | None = None
+
+
+# ----------------------------------------------------------------------
+# Process-global defaults (CLI flags / environment)
+# ----------------------------------------------------------------------
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Set the process-global default worker count (``None`` = unset,
+    falling back to ``REPRO_WORKERS`` then serial)."""
+    global _default_workers
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    with _defaults_lock:
+        _default_workers = None if workers is None else int(workers)
+
+
+def set_default_backend(backend: str | None) -> None:
+    """Set the process-global default backend (``None`` = unset)."""
+    global _default_backend
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    with _defaults_lock:
+        _default_backend = backend
+
+
+def resolve_workers(explicit: int | None = None) -> int:
+    """The effective worker count: explicit > global default > env > 0."""
+    if explicit is not None:
+        if explicit < 0:
+            raise ValueError(f"workers must be >= 0, got {explicit}")
+        return int(explicit)
+    with _defaults_lock:
+        if _default_workers is not None:
+            return _default_workers
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+        if workers < 0:
+            raise ValueError(f"{WORKERS_ENV} must be >= 0, got {workers}")
+        return workers
+    return 0
+
+
+def resolve_backend(explicit: str | None = None) -> str:
+    """The effective backend: explicit > global default > env > thread."""
+    if explicit is not None:
+        if explicit not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {explicit!r}"
+            )
+        return explicit
+    with _defaults_lock:
+        if _default_backend is not None:
+            return _default_backend
+    raw = os.environ.get(BACKEND_ENV, "").strip()
+    if raw:
+        if raw not in BACKENDS:
+            raise ValueError(
+                f"{BACKEND_ENV} must be one of {BACKENDS}, got {raw!r}"
+            )
+        return raw
+    return "thread"
+
+
+# ----------------------------------------------------------------------
+# Plan decomposition: which plans fan out
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainPlan:
+    """A scan→filter→project chain decomposed for per-block execution.
+
+    ``stages`` run source-outward.  Joins and aggregates are excluded on
+    purpose: a hash join's build side and an aggregate's fold order are
+    cross-block state, so those operators stay on the serial pipeline
+    (the merge consumes whatever the chain under them produced).
+    """
+
+    source: Operator  # SeqScan | RowSource
+    stages: tuple  # Filter | Project, source-outward
+
+    @property
+    def layout(self) -> Mapping[str, int]:
+        return self.stages[-1].layout if self.stages else self.source.layout
+
+
+def decompose_chain(plan: Operator) -> ChainPlan | None:
+    """Decompose ``plan`` into a parallelizable chain, or ``None``.
+
+    Eligible: any stack of :class:`Filter` / :class:`Project` over a
+    :class:`SeqScan` or :class:`RowSource` leaf.  Everything else (joins,
+    aggregates, operators from outside the engine) runs serially.
+    """
+    stages: list[Operator] = []
+    node = plan
+    while isinstance(node, (Filter, Project)):
+        stages.append(node)
+        node = node.child
+    if not isinstance(node, (SeqScan, RowSource)):
+        return None
+    stages.reverse()
+    return ChainPlan(source=node, stages=tuple(stages))
+
+
+# ----------------------------------------------------------------------
+# Task kernels (charge-free: they fill a local tally, never a counter)
+# ----------------------------------------------------------------------
+
+# A compiled stage is ("filter", block_fn, None) or
+# ("project", positions, out_layout).
+_CompiledStage = tuple
+
+
+def _compile_thread_stages(stages: Sequence[Operator]) -> list[_CompiledStage]:
+    """Reuse the operators' already-compiled block kernels (same process)."""
+    compiled: list[_CompiledStage] = []
+    for stage in stages:
+        if isinstance(stage, Filter):
+            compiled.append(("filter", stage._block_fn, None))
+        else:
+            compiled.append(("project", tuple(stage._positions), stage.layout))
+    return compiled
+
+
+def _portable_stages(stages: Sequence[Operator]) -> tuple:
+    """Picklable stage specs: expression trees + layouts, no closures."""
+    portable: list[tuple] = []
+    for stage in stages:
+        if isinstance(stage, Filter):
+            portable.append(("filter", stage.predicate, dict(stage.layout)))
+        else:
+            portable.append(
+                ("project", tuple(stage._positions), dict(stage.layout))
+            )
+    return tuple(portable)
+
+
+def _apply_stages(
+    block: RowBlock | None,
+    compiled: Sequence[_CompiledStage],
+    tally: dict[str, int],
+) -> RowBlock | None:
+    """Run a block through compiled stages, mirroring the serial pipeline.
+
+    Charge accounting matches ``Filter.blocks``/``Project.blocks``
+    exactly: one ``compares`` per filter input row, one ``tuple_cpu`` per
+    projected row, and a block that filters to empty stops flowing (the
+    serial pipeline never hands empty blocks downstream).
+    """
+    for kind, spec, out_layout in compiled:
+        if kind == "filter":
+            tally["compares"] = tally.get("compares", 0) + len(block)
+            flags = spec(block)
+            if not all(flags):
+                keep = [i for i, flag in enumerate(flags) if flag]
+                if not keep:
+                    return None
+                block = block.take(keep)
+        else:
+            tally["tuple_cpu"] = tally.get("tuple_cpu", 0) + len(block)
+            block = RowBlock.from_columns(
+                [block.column(p) for p in spec], out_layout, length=len(block)
+            )
+    return block
+
+
+def _thread_task(
+    block: RowBlock, compiled: Sequence[_CompiledStage]
+) -> tuple[RowBlock | None, dict[str, int], float]:
+    """One thread-backend task: kernels only, charges to a local tally."""
+    start = time.perf_counter()
+    tally = {"tuple_cpu": len(block)}  # the source stage's per-block CPU
+    out = _apply_stages(block, compiled, tally)
+    busy_ms = (time.perf_counter() - start) * 1e3
+    # Lands in the run's registry because the submitter wrapped this task
+    # with Recorder.wrap (obs.install_in_thread); no-op otherwise.
+    obs.observe("engine.parallel.worker_busy_ms", busy_ms)
+    return out, tally, busy_ms
+
+
+def _process_task(
+    payload: tuple,
+) -> tuple[list[tuple] | None, dict[str, int], float]:
+    """One process-backend task: compile shipped expression trees, run.
+
+    Returns plain row tuples (blocks would pickle fine but carry nothing
+    extra back); the merge rebuilds a :class:`RowBlock` with the chain's
+    output layout.
+    """
+    rows, layout, portable = payload
+    start = time.perf_counter()
+    block = RowBlock.from_rows(rows, layout)
+    compiled: list[_CompiledStage] = []
+    for kind, spec, stage_layout in portable:
+        if kind == "filter":
+            compiled.append(
+                ("filter", compile_block_cached(spec, stage_layout), None)
+            )
+        else:
+            compiled.append(("project", spec, stage_layout))
+    tally = {"tuple_cpu": len(block)}
+    out = _apply_stages(block, compiled, tally)
+    busy_ms = (time.perf_counter() - start) * 1e3
+    return (None if out is None else out.rows(), tally, busy_ms)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+
+def _shutdown_pool(pool: Executor) -> None:
+    """GC-safety finalizer: release pool threads/processes promptly."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class ParallelBlockExecutor:
+    """Fans a chain's blocks out to a worker pool; merges in block order.
+
+    One executor (and its lazily created pool) is owned by a
+    :class:`~repro.engine.database.Database` and reused across queries.
+    :meth:`close` shuts the pool down deterministically; a dropped
+    executor is also finalized via :mod:`weakref` so abandoned databases
+    cannot strand worker threads.
+    """
+
+    def __init__(self, workers: int, backend: str = "thread"):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.workers = int(workers)
+        self.backend = backend
+        self._pool: Executor | None = None
+        self._finalizer: weakref.finalize | None = None
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.backend == "thread":
+                pool: Executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-block-worker",
+                )
+            else:
+                import multiprocessing
+
+                try:
+                    # fork skips re-importing the package per worker;
+                    # fall back to the platform default elsewhere.
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX
+                    ctx = multiprocessing.get_context()
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx
+                )
+            self._pool = pool
+            self._finalizer = weakref.finalize(self, _shutdown_pool, pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; waits for workers to exit)."""
+        pool, self._pool = self._pool, None
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(
+        self,
+        chain: ChainPlan,
+        block_size: int,
+        counter: OperationCounter,
+    ) -> Iterator[RowBlock]:
+        """Yield the chain's output blocks, in block order.
+
+        All cost charging happens here, on the consuming thread: the
+        scan's setup (page reads) before the first task is submitted, and
+        each task's local tally as its result is merged.  The iterator is
+        a generator, so charges land exactly when blocks are consumed and
+        an abandoned iteration cancels whatever has not started.
+        """
+        source = chain.source
+        if isinstance(source, SeqScan):
+            source._charge_scan_setup()  # identical charge + obs to serial
+            source_rows: Sequence[tuple] = source.snapshot.row_list()
+        else:
+            source_rows = source._rows
+
+        task: Callable
+        if self.backend == "thread":
+            compiled = _compile_thread_stages(chain.stages)
+
+            def make_args(block: RowBlock) -> tuple:
+                return (block, compiled)
+
+            task = _thread_task
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                task = recorder.wrap(task)  # adopt the run's recorder
+        else:
+            portable = _portable_stages(chain.stages)
+            source_layout = dict(source.layout)
+
+            def make_args(block: RowBlock) -> tuple:
+                return ((block.rows(), source_layout, portable),)
+
+            task = _process_task
+
+        out_layout = chain.layout
+        pool = self._ensure_pool()
+        window = self.workers * SUBMIT_WINDOW_PER_WORKER
+        blocks = iter_blocks(source_rows, source.layout, block_size)
+        pending: deque[Future] = deque()
+        tasks = 0
+        obs.counter("engine.parallel.queries")
+        try:
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) < window:
+                    block = next(blocks, None)
+                    if block is None:
+                        exhausted = True
+                        break
+                    pending.append(pool.submit(task, *make_args(block)))
+                    tasks += 1
+                    obs.gauge_max("engine.parallel.queue_depth", len(pending))
+                if not pending:
+                    break
+                future = pending.popleft()
+                wait_start = time.perf_counter()
+                out, tally, busy_ms = future.result()
+                obs.observe(
+                    "engine.parallel.merge_wait_ms",
+                    (time.perf_counter() - wait_start) * 1e3,
+                )
+                if self.backend == "process":
+                    # Process workers cannot adopt the parent's recorder;
+                    # their busy time rides back with the result.
+                    obs.observe("engine.parallel.worker_busy_ms", busy_ms)
+                for field_name, count in tally.items():
+                    if count:
+                        counter.charge(field_name, count)
+                if out is None:
+                    continue
+                if self.backend == "process":
+                    out = RowBlock.from_rows(out, out_layout)
+                yield out
+        finally:
+            obs.counter("engine.parallel.tasks", tasks)
+            for future in pending:
+                future.cancel()
+
+    def __repr__(self) -> str:
+        state = "idle" if self._pool is None else "pooled"
+        return (
+            f"ParallelBlockExecutor(workers={self.workers}, "
+            f"backend={self.backend!r}, {state})"
+        )

@@ -20,6 +20,7 @@ subcommand; the ``/samples`` endpoint of
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import deque
 from pathlib import Path
 
@@ -81,17 +82,35 @@ class FlightRecorder:
         self._thread.start()
         return self
 
+    #: How long :meth:`stop` waits for the sampler thread to exit before
+    #: declaring it leaked.  Class attribute so tests (and unusual
+    #: deployments) can tighten it.
+    JOIN_TIMEOUT_S = 5.0
+
     def stop(self, final_sample: bool = True) -> None:
         """Stop the sampler thread; optionally take one last snapshot.
 
-        The final sample makes short runs (which may finish inside the
-        first interval) still leave evidence behind.
+        Idempotent: only the call that actually stops the thread takes
+        the final sample (which makes short runs that finish inside the
+        first interval still leave evidence behind); subsequent calls --
+        or a stop without a start -- do nothing.  A thread that fails to
+        exit within :attr:`JOIN_TIMEOUT_S` is reported as a
+        :class:`RuntimeWarning` instead of being silently abandoned.
         """
         thread = self._thread
-        if thread is not None:
-            self._stop.set()
-            thread.join(timeout=5.0)
-            self._thread = None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=self.JOIN_TIMEOUT_S)
+        self._thread = None
+        if thread.is_alive():
+            warnings.warn(
+                f"flight-recorder sampler thread {thread.name!r} did not "
+                f"exit within {self.JOIN_TIMEOUT_S}s; a daemon thread may "
+                f"be leaked",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if final_sample:
             self.sample_now()
 

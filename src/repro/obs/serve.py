@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs.export import CONTENT_TYPE, render_prometheus
@@ -153,15 +154,32 @@ class MetricsServer:
         self._thread.start()
         return self.port
 
+    #: How long :meth:`stop` waits for the serving thread to exit before
+    #: declaring it leaked (class attribute so tests can tighten it).
+    JOIN_TIMEOUT_S = 5.0
+
     def stop(self) -> None:
-        """Shut the server down and release the port (idempotent)."""
+        """Shut the server down and release the port (idempotent).
+
+        A serving thread that fails to exit within :attr:`JOIN_TIMEOUT_S`
+        raises a :class:`RuntimeWarning` instead of being silently
+        abandoned -- a leaked acceptor thread keeps the port bound.
+        """
         server, thread = self._server, self._thread
         self._server = self._thread = None
         if server is not None:
             server.shutdown()
             server.server_close()
         if thread is not None:
-            thread.join(timeout=5.0)
+            thread.join(timeout=self.JOIN_TIMEOUT_S)
+            if thread.is_alive():
+                warnings.warn(
+                    f"metrics-server thread {thread.name!r} did not exit "
+                    f"within {self.JOIN_TIMEOUT_S}s; a daemon thread (and "
+                    f"its port) may be leaked",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     @property
     def port(self) -> int:

@@ -1,0 +1,71 @@
+"""Unit tests for :class:`RowBlock`: views, gather, and chunking."""
+
+import pytest
+
+from repro.engine.block import RowBlock, blocks_to_rows, iter_blocks
+
+LAYOUT = {"T.a": 0, "T.b": 1}
+ROWS = [(1, "x"), (2, "y"), (3, "z"), (4, "w")]
+COLUMNS = [[1, 2, 3, 4], ["x", "y", "z", "w"]]
+
+
+class TestViews:
+    def test_row_major_roundtrip(self):
+        block = RowBlock.from_rows(list(ROWS), LAYOUT)
+        assert len(block) == 4
+        assert block.rows() == ROWS
+        assert block.column(0) == [1, 2, 3, 4]
+
+    def test_column_major_roundtrip(self):
+        block = RowBlock.from_columns([list(c) for c in COLUMNS], LAYOUT)
+        assert len(block) == 4
+        assert block.column(1) == ["x", "y", "z", "w"]
+        assert block.rows() == ROWS
+
+    def test_column_extraction_does_not_transpose(self):
+        block = RowBlock.from_rows(list(ROWS), LAYOUT)
+        assert block.column(0) == [1, 2, 3, 4]
+        # Only the requested column was materialized, and it's cached.
+        assert block._col_cache == {0: [1, 2, 3, 4]}
+        assert block.column(0) is block.column(0)
+
+
+class TestTake:
+    def test_row_major_gather(self):
+        block = RowBlock.from_rows(list(ROWS), LAYOUT)
+        taken = block.take([0, 2])
+        assert taken.rows() == [(1, "x"), (3, "z")]
+        assert taken.layout == LAYOUT
+
+    def test_column_major_gather_stays_columnar(self):
+        """Regression: take() on a column-major block must gather
+        column-by-column, not force the full row transpose."""
+        block = RowBlock.from_columns([list(c) for c in COLUMNS], LAYOUT)
+        taken = block.take([1, 3])
+        # The source block was never transposed to rows...
+        assert block._rows is None
+        # ...and the result is itself column-major (no row view yet).
+        assert taken._rows is None
+        assert taken._columns == [[2, 4], ["y", "w"]]
+        assert len(taken) == 2
+        assert taken.rows() == [(2, "y"), (4, "w")]
+
+    def test_empty_gather(self):
+        block = RowBlock.from_columns([list(c) for c in COLUMNS], LAYOUT)
+        taken = block.take([])
+        assert len(taken) == 0
+        assert taken.rows() == []
+
+
+class TestIterBlocks:
+    def test_chunking_and_tail(self):
+        blocks = list(iter_blocks(ROWS, LAYOUT, 3))
+        assert [len(b) for b in blocks] == [3, 1]
+        assert blocks_to_rows(blocks) == ROWS
+
+    def test_empty_input(self):
+        assert list(iter_blocks([], LAYOUT, 8)) == []
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            list(iter_blocks(ROWS, LAYOUT, 0))

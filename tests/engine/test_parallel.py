@@ -1,0 +1,305 @@
+"""Unit tests for the parallel block pipeline (:mod:`repro.engine.parallel`).
+
+The integration-level guarantee -- parallel execution is byte-identical
+to serial in both rows and simulated costs -- lives in
+``tests/integration/test_block_equivalence.py``; this file covers the
+machinery: eligibility, configuration precedence, pool lifecycle,
+metrics, and failure propagation.
+"""
+
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.engine import parallel
+from repro.engine.database import Database
+from repro.engine.expr import col, lit
+from repro.engine.parallel import (
+    BACKEND_ENV,
+    WORKERS_ENV,
+    ChainPlan,
+    ParallelBlockExecutor,
+    decompose_chain,
+    resolve_backend,
+    resolve_workers,
+    set_default_backend,
+    set_default_workers,
+)
+from repro.engine.query import JoinSpec, QuerySpec
+from repro.engine.types import ColumnType, Schema
+
+
+@pytest.fixture(autouse=True)
+def _clean_parallel_defaults(monkeypatch):
+    """Isolate each test from CLI/env worker configuration."""
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    set_default_workers(None)
+    set_default_backend(None)
+    yield
+    set_default_workers(None)
+    set_default_backend(None)
+
+
+def make_db(rows=1000, block_size=64, **kwargs):
+    db = Database(block_size=block_size, **kwargs)
+    table = db.create_table(
+        "t", Schema.of(k=ColumnType.INT, grp=ColumnType.INT, val=ColumnType.FLOAT)
+    )
+    for i in range(rows):
+        table.insert((i, i % 7, float(i) * 1.5))
+    return db
+
+
+def chain_spec(**overrides):
+    defaults = dict(
+        base_alias="T",
+        base_table="t",
+        filters=(col("T.grp") > lit(2),),  # keeps 4/7: exercises take()
+        # without tripping the low-fill advisory in every test
+        projection=("T.val", "T.k"),
+    )
+    defaults.update(overrides)
+    return QuerySpec(**defaults)
+
+
+class TestConfigResolution:
+    def test_default_is_serial(self):
+        assert resolve_workers() == 0
+        assert resolve_backend() == "thread"
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        set_default_workers(4)
+        assert resolve_workers(2) == 2
+        assert resolve_workers(0) == 0
+
+    def test_global_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        set_default_workers(4)
+        set_default_backend("thread")
+        assert resolve_workers() == 4
+        assert resolve_backend() == "thread"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        assert resolve_workers() == 3
+        assert resolve_backend() == "process"
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+        with pytest.raises(ValueError):
+            set_default_workers(-2)
+        with pytest.raises(ValueError):
+            resolve_backend("greenlet")
+        with pytest.raises(ValueError):
+            set_default_backend("greenlet")
+        monkeypatch.setenv(WORKERS_ENV, "two")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers()
+        monkeypatch.setenv(WORKERS_ENV, "-1")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers()
+        monkeypatch.setenv(BACKEND_ENV, "greenlet")
+        with pytest.raises(ValueError, match=BACKEND_ENV):
+            resolve_backend()
+
+    def test_database_picks_up_global_default(self):
+        set_default_workers(2)
+        set_default_backend("thread")
+        db = Database()
+        assert db.workers == 2
+        assert db.parallel_backend == "thread"
+
+    def test_database_explicit_overrides_global(self):
+        set_default_workers(2)
+        with Database(workers=0) as db:
+            assert db.workers == 0
+
+
+class TestDecomposeChain:
+    def test_scan_filter_project_chain(self, toy_db):
+        from repro.engine.operators import Filter, Project, SeqScan
+
+        scan = SeqScan(toy_db.table("emp").snapshot(), "E", toy_db.counter)
+        plan = Project(
+            Filter(scan, col("E.salary") > lit(100.0)), ["E.name"]
+        )
+        chain = decompose_chain(plan)
+        assert isinstance(chain, ChainPlan)
+        assert chain.source is scan
+        assert len(chain.stages) == 2
+        assert chain.layout == {"E.name": 0}
+
+    def test_bare_scan_is_eligible(self, toy_db):
+        from repro.engine.operators import SeqScan
+
+        scan = SeqScan(toy_db.table("emp").snapshot(), "E", toy_db.counter)
+        chain = decompose_chain(scan)
+        assert chain is not None
+        assert chain.stages == ()
+        assert chain.layout is scan.layout
+
+    def test_join_is_not_eligible(self, toy_db):
+        from repro.engine.join import HashJoin
+        from repro.engine.operators import Filter, SeqScan
+
+        left = SeqScan(toy_db.table("emp").snapshot(), "E", toy_db.counter)
+        right = SeqScan(toy_db.table("dept").snapshot(), "D", toy_db.counter)
+        join = HashJoin(left, right, "E.deptno", "D.deptno")
+        assert decompose_chain(join) is None
+        # ...even under a filter: the chain walk stops at the join.
+        assert decompose_chain(
+            Filter(join, col("D.dname") == lit("eng"))
+        ) is None
+
+    def test_aggregate_is_not_eligible(self, toy_db):
+        from repro.engine.aggregate import Aggregate
+        from repro.engine.operators import SeqScan
+
+        scan = SeqScan(toy_db.table("emp").snapshot(), "E", toy_db.counter)
+        agg = Aggregate(scan, "min", col("E.salary"), ())
+        assert decompose_chain(agg) is None
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_rows_and_costs_match_serial(self, workers):
+        serial = make_db(workers=0)
+        result_serial = serial.execute(chain_spec())
+        costs_serial = serial.counter.snapshot()
+
+        with make_db(workers=workers) as db:
+            result = db.execute(chain_spec())
+            assert result.rows == result_serial.rows
+            assert result.columns == result_serial.columns
+            assert db.counter.snapshot() == costs_serial
+
+    def test_process_backend_matches_serial(self):
+        serial = make_db(workers=0)
+        result_serial = serial.execute(chain_spec())
+        costs_serial = serial.counter.snapshot()
+
+        with make_db(workers=2, parallel_backend="process") as db:
+            result = db.execute(chain_spec())
+            assert result.rows == result_serial.rows
+            assert db.counter.snapshot() == costs_serial
+
+    def test_join_query_still_works_with_workers(self, toy_db):
+        """Joins aren't chain-eligible; the planner silently stays serial."""
+        with Database(workers=4) as db:
+            for name in ("emp", "dept"):
+                src = toy_db.table(name)
+                table = db.create_table(name, src.schema)
+                for row in src.snapshot().row_list():
+                    table.insert(row)
+            spec = QuerySpec(
+                base_alias="E",
+                base_table="emp",
+                joins=(JoinSpec("D", "dept", "E.deptno", "deptno"),),
+            )
+            assert len(db.execute(spec)) == 5
+
+    def test_empty_result(self):
+        with make_db(workers=2) as db:
+            result = db.execute(
+                chain_spec(filters=(col("T.grp") == lit(99),))
+            )
+            assert result.rows == []
+
+
+class TestMetrics:
+    def test_parallel_metrics_emitted(self):
+        with make_db(workers=2) as db:
+            with obs.recording() as rec:
+                db.execute(chain_spec())
+        reg = rec.registry
+        assert reg.get("engine.parallel.queries").value == 1
+        assert reg.get("engine.parallel.tasks").value == 16  # ceil(1000/64)
+        assert reg.get("engine.parallel.queue_depth").value >= 1
+        assert reg.get("engine.parallel.merge_wait_ms").count >= 1
+        # Thread workers adopt the run's recorder via Recorder.wrap.
+        assert reg.get("engine.parallel.worker_busy_ms").count >= 1
+
+    def test_serial_emits_no_parallel_metrics(self):
+        db = make_db(workers=0)
+        with obs.recording() as rec:
+            db.execute(chain_spec())
+        assert rec.registry.get("engine.parallel.queries") is None
+
+
+class TestFailurePropagation:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_worker_exception_propagates(self, workers):
+        with make_db(workers=workers) as db:
+            bad = chain_spec(
+                filters=((col("T.val") / lit(0.0)) > lit(1.0),)
+            )
+            with pytest.raises(ZeroDivisionError):
+                db.execute(bad)
+            # The database (and its pool) survive a failed query.
+            result = db.execute(chain_spec())
+            assert len(result) > 0
+
+    def test_process_backend_exception_propagates(self):
+        with make_db(workers=2, parallel_backend="process") as db:
+            bad = chain_spec(
+                filters=((col("T.val") / lit(0.0)) > lit(1.0),)
+            )
+            with pytest.raises(ZeroDivisionError):
+                db.execute(bad)
+            assert len(db.execute(chain_spec())) > 0
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent(self):
+        db = make_db(workers=2)
+        db.execute(chain_spec())
+        db.close()
+        db.close()
+
+    def test_close_without_use(self):
+        Database(workers=2).close()
+
+    def test_executor_validates_arguments(self):
+        with pytest.raises(ValueError):
+            ParallelBlockExecutor(0)
+        with pytest.raises(ValueError):
+            ParallelBlockExecutor(2, backend="greenlet")
+
+    def test_pool_is_lazy(self):
+        executor = ParallelBlockExecutor(2)
+        assert executor._pool is None
+
+    def test_abandoned_iteration_cancels_pending(self):
+        """Dropping the merge iterator mid-stream must not deadlock or
+        leak; the generator's finally cancels unconsumed futures."""
+        with make_db(workers=2, block_size=8) as db:
+            chain = parallel.decompose_chain(
+                db._source(chain_spec(), "T", "t", {}, {})
+            )
+            iterator = db._parallel_executor().execute(
+                chain, 8, db.counter
+            )
+            next(iterator)
+            iterator.close()
+            # Pool still serves subsequent queries.
+            assert len(db.execute(chain_spec())) > 0
+
+
+class TestLowFillInteraction:
+    def test_parallel_path_respects_tail_exclusion(self):
+        """A short result through the pool must not trip the low-fill
+        warning (the tail block is excluded on the merge side too)."""
+        with Database(block_size=256, workers=2) as db:
+            table = db.create_table("t", Schema.of(k=ColumnType.INT))
+            for i in range(5):
+                table.insert((i,))
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                result = db.execute(QuerySpec(base_alias="T", base_table="t"))
+            assert len(result) == 5

@@ -39,6 +39,7 @@ from repro.ivm.view import MaterializedView
 BLOCK_SIZES = (1, 7, 64, 1024)
 ENGINE_MODES = (None,) + BLOCK_SIZES  # None = row-at-a-time reference
 SEEDS = (3, 17, 101)
+WORKER_COUNTS = (1, 2, 8)  # parallel pool sizes under differential test
 
 
 # ----------------------------------------------------------------------
@@ -46,10 +47,18 @@ SEEDS = (3, 17, 101)
 # ----------------------------------------------------------------------
 
 
-def build_db(block_size: int | None, seed: int) -> Database:
-    """A two-table random database, identical for every engine mode."""
+def build_db(
+    block_size: int | None, seed: int, workers: int | None = None
+) -> Database:
+    """A two-table random database, identical for every engine mode.
+
+    ``workers=None`` defers to the environment (the CI leg that sets
+    ``REPRO_WORKERS=4`` runs this whole file through the pool); the
+    explicit worker-matrix tests below pin ``workers`` so their serial
+    reference stays serial regardless of environment.
+    """
     rng = random.Random(seed)
-    db = Database(block_size=block_size)
+    db = Database(block_size=block_size, workers=workers)
     fact = db.create_table(
         "fact",
         Schema.of(
@@ -124,11 +133,11 @@ def query_specs(seed: int) -> list[QuerySpec]:
     ]
 
 
-def run_queries(block_size: int | None, seed: int):
+def run_queries(block_size: int | None, seed: int, workers: int | None = None):
     """Build, run every spec, and return (all result rows, final charges)."""
-    db = build_db(block_size, seed)
-    results = [db.execute(spec).rows for spec in query_specs(seed)]
-    return results, db.counter.snapshot()
+    with build_db(block_size, seed, workers) as db:
+        results = [db.execute(spec).rows for spec in query_specs(seed)]
+        return results, db.counter.snapshot()
 
 
 def _mutate(rng: random.Random, db: Database, steps: int) -> None:
@@ -211,6 +220,75 @@ def test_view_maintenance_identical_across_block_sizes(seed):
         assert charges == ref_charges, (
             f"simulated charges diverge at block_size={block_size}"
         )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_parallel_queries_identical_to_serial(block_size, workers):
+    """The full (block_size x workers) matrix: the worker pool must be
+    invisible -- byte-identical result rows (in order) and byte-identical
+    simulated charges versus the serial blocked engine."""
+    for seed in SEEDS:
+        ref_rows, ref_charges = run_queries(block_size, seed, workers=0)
+        rows, charges = run_queries(block_size, seed, workers=workers)
+        assert rows == ref_rows, (
+            f"rows diverge at block_size={block_size} workers={workers}"
+        )
+        assert charges == ref_charges, (
+            f"simulated charges diverge at block_size={block_size} "
+            f"workers={workers}"
+        )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_view_maintenance_identical_to_serial(workers):
+    seed, block_size = SEEDS[0], 64
+    reference = run_ivm_with_workers(block_size, seed, workers=0)
+    assert run_ivm_with_workers(block_size, seed, workers=workers) == reference
+
+
+def run_ivm_with_workers(block_size, seed, workers):
+    db = build_db(block_size, seed, workers)
+    try:
+        spec = QuerySpec(
+            base_alias="F",
+            base_table="fact",
+            filters=(col("F.grp") != lit(2),),
+            aggregate=AggregateSpec(
+                func="min", value=col("F.val"), group_by=("F.grp",)
+            ),
+        )
+        view = MaterializedView("v", db, spec)
+        rng = random.Random(seed * 29 + 11)
+        trace = []
+        for __ in range(8):
+            _mutate(rng, db, rng.randint(0, 4))
+            delta = view.deltas["F"]
+            delta.pull()
+            k = rng.randint(0, delta.size)
+            if k:
+                apply_batch(view, "F", k)
+            trace.append(sorted(view.contents().items(), key=repr))
+        full_refresh(view)
+        return trace, view.contents(), db.counter.snapshot()
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_mid_query_exception_propagates(workers):
+    """A worker raising mid-query must surface to the caller (not hang
+    the merge), and the database must remain usable afterwards."""
+    with build_db(64, seed=SEEDS[0], workers=workers) as db:
+        bad = QuerySpec(
+            base_alias="F",
+            base_table="fact",
+            filters=((col("F.val") / lit(0.0)) > lit(1.0),),
+        )
+        with pytest.raises(ZeroDivisionError):
+            db.execute(bad)
+        ok = QuerySpec(base_alias="F", base_table="fact")
+        assert len(db.execute(ok)) > 0
 
 
 def test_operator_level_equivalence():

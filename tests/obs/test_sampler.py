@@ -1,5 +1,6 @@
 """Tests for the flight recorder (ring-buffer registry sampler)."""
 
+import threading
 import time
 
 import pytest
@@ -85,6 +86,37 @@ class TestBackgroundThread:
         flight.stop()
         flight.stop(final_sample=False)
         assert len(flight) == 1  # exactly one final sample
+
+    def test_stop_without_start_is_a_noop(self):
+        flight = FlightRecorder(obs.Recorder(), interval_s=0.005)
+        flight.stop()
+        assert len(flight) == 0  # no thread stopped, no final sample
+
+    def test_clean_stop_emits_no_warnings(self):
+        import warnings
+
+        flight = FlightRecorder(obs.Recorder(), interval_s=0.005)
+        flight.start()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            flight.stop()
+
+    def test_stuck_thread_is_reported_not_swallowed(self):
+        """Regression: a sampler thread that outlives the join timeout
+        used to be silently abandoned; now it raises a RuntimeWarning."""
+        flight = FlightRecorder(obs.Recorder(), interval_s=60)
+        release = threading.Event()
+        stuck = threading.Thread(target=release.wait, daemon=True)
+        stuck.start()
+        flight._thread = stuck  # simulate a sampler that won't exit
+        flight.JOIN_TIMEOUT_S = 0.01
+        try:
+            with pytest.warns(RuntimeWarning, match="did not exit"):
+                flight.stop(final_sample=False)
+            assert flight._thread is None  # stop state still advanced
+        finally:
+            release.set()
+            stuck.join(timeout=5)
 
 
 class TestDump:

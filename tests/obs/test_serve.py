@@ -119,6 +119,34 @@ class TestLiveScrape:
                 stop.set()
                 worker.join(timeout=5)
 
+    def test_stop_is_idempotent_and_clean(self):
+        import warnings
+
+        server = MetricsServer(obs.Recorder(), port=0)
+        server.start()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            server.stop()
+            server.stop()  # second stop: no server, no thread, no warning
+
+    def test_stuck_acceptor_thread_is_reported(self):
+        """Regression: a serving thread that survives the join timeout
+        used to be silently abandoned (port still bound); now it raises
+        a RuntimeWarning."""
+        server = MetricsServer(obs.Recorder(), port=0)
+        release = threading.Event()
+        stuck = threading.Thread(target=release.wait, daemon=True)
+        stuck.start()
+        server._thread = stuck  # simulate an acceptor that won't exit
+        server.JOIN_TIMEOUT_S = 0.01
+        try:
+            with pytest.warns(RuntimeWarning, match="did not exit"):
+                server.stop()
+            assert server._thread is None
+        finally:
+            release.set()
+            stuck.join(timeout=5)
+
     def test_stop_releases_port(self):
         recorder = obs.Recorder()
         server = MetricsServer(recorder, port=0)
