@@ -1,0 +1,160 @@
+"""Build-once/probe-parallel hash join at TPC-R SF 0.1.
+
+A join-aggregate in the shape of the paper's experiment view -- PartSupp
+joined to Supplier, grouped by ``S.nationkey``, summing
+``PS.supplycost`` -- with *no* index on Supplier, so the planner emits a
+HashJoin and the parallel executor takes the build-once/probe-parallel
+path: the hash table is built exactly once on the coordinator, probe-side
+RowBlocks fan out to the pool, and per-worker partial aggregation states
+merge on the coordinator (charge-on-merge).
+
+Two different things are asserted, mirroring ``bench_parallel_pipeline``:
+
+* **Equivalence is unconditional.**  Result rows (in order) and the
+  simulated cost table must be byte-identical across serial, thread, and
+  process modes on any machine -- that is the charge-on-merge invariant.
+* **Speedup is conditional on hardware.**  The >= 1.5x gate for the
+  process backend at workers = 4 applies only on hosts with >= 4 cores;
+  a smaller host records the skip (and its reason) in the results JSON
+  instead of failing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from benchmarks._report import report
+from repro.engine.database import Database
+from repro.engine.expr import col, lit
+from repro.engine.query import AggregateSpec, JoinSpec, QuerySpec
+from repro.tpcr.gen import load_tpcr
+
+SCALE = 0.1  # PartSupp 80k rows, Supplier 1k rows
+BLOCK_SIZE = 4_096
+REPEATS = 2
+WORKERS = 4
+SPEEDUP_GATE = 1.5
+MIN_CORES_FOR_GATE = 4
+
+
+def _join_agg_spec() -> QuerySpec:
+    return QuerySpec(
+        base_alias="PS",
+        base_table="partsupp",
+        joins=(JoinSpec("S", "supplier", "PS.suppkey", "suppkey"),),
+        filters=(col("PS.supplycost") > lit(100.0),),
+        aggregate=AggregateSpec(
+            func="sum", value=col("PS.supplycost"), group_by=("S.nationkey",)
+        ),
+    )
+
+
+def _build(workers: int, backend: str | None) -> Database:
+    db = Database(
+        block_size=BLOCK_SIZE, workers=workers, parallel_backend=backend
+    )
+    # Deliberately no index on supplier.suppkey: the planner must pick a
+    # hash join (the parallel probe stage), not index nested loops.
+    load_tpcr(db, scale=SCALE)
+    return db
+
+
+@dataclass
+class ModeRun:
+    label: str
+    wall_s: float
+    rows: list[tuple]
+    charges: dict[str, int]
+
+
+@dataclass
+class ParallelJoinResult:
+    modes: list[ModeRun]
+    cpu_count: int
+    gate: str
+
+    def format(self) -> str:
+        serial = self.modes[0].wall_s
+        lines = [
+            f"parallel hash join at SF {SCALE}: PS |x| S, "
+            f"sum(supplycost) by nationkey, block_size={BLOCK_SIZE}, "
+            f"{REPEATS} runs, {self.cpu_count} cpu core(s)",
+            f"{'mode':<12} {'wall_s':>8} {'speedup':>8}",
+        ]
+        for mode in self.modes:
+            lines.append(
+                f"{mode.label:<12} {mode.wall_s:>8.3f} "
+                f"{serial / mode.wall_s:>7.2f}x"
+            )
+        lines.append(
+            "rows and simulated charges byte-identical across all modes"
+        )
+        lines.append(f"speedup gate: {self.gate}")
+        return "\n".join(lines)
+
+
+def _measure(label: str, workers: int, backend: str | None) -> ModeRun:
+    with _build(workers, backend) as db:
+        spec = _join_agg_spec()
+        db.execute(spec)  # warm: pool spin-up + kernel compile
+        baseline = db.counter.snapshot()
+        start = time.perf_counter()
+        for _ in range(REPEATS):
+            result = db.execute(spec)
+        wall = time.perf_counter() - start
+        charges = {
+            k: v - baseline[k] for k, v in db.counter.snapshot().items()
+        }
+        return ModeRun(label, wall, result.rows, charges)
+
+
+def run_parallel_join() -> ParallelJoinResult:
+    modes = [
+        _measure("serial", 0, None),
+        _measure(f"thread x{WORKERS}", WORKERS, "thread"),
+        _measure(f"process x{WORKERS}", WORKERS, "process"),
+    ]
+    serial = modes[0]
+    for mode in modes[1:]:
+        assert mode.rows == serial.rows, f"{mode.label}: rows diverge"
+        assert mode.charges == serial.charges, (
+            f"{mode.label}: simulated charges diverge"
+        )
+    cpu_count = os.cpu_count() or 1
+    if cpu_count >= MIN_CORES_FOR_GATE:
+        gate = f">= {SPEEDUP_GATE}x required (host has {cpu_count} cores)"
+    else:
+        gate = (
+            f"skipped: host has {cpu_count} core(s), "
+            f"gate needs >= {MIN_CORES_FOR_GATE}"
+        )
+    return ParallelJoinResult(modes, cpu_count=cpu_count, gate=gate)
+
+
+def bench_parallel_join(run_once):
+    result = run_once(run_parallel_join)
+    report(
+        "parallel_join",
+        result.format(),
+        params={
+            "scale": SCALE,
+            "block_size": BLOCK_SIZE,
+            "repeats": REPEATS,
+            "workers": WORKERS,
+            "cpu_count": result.cpu_count,
+            "speedup_gate": result.gate,
+            "wall_s": {m.label: round(m.wall_s, 4) for m in result.modes},
+        },
+    )
+    serial, thread, process = result.modes
+    # Pool overhead stays bounded even on one core.
+    assert thread.wall_s < 3.0 * serial.wall_s
+    assert process.wall_s < 5.0 * serial.wall_s
+    if result.cpu_count >= MIN_CORES_FOR_GATE:
+        assert serial.wall_s / process.wall_s >= SPEEDUP_GATE, (
+            f"process x{WORKERS} speedup "
+            f"{serial.wall_s / process.wall_s:.2f}x below {SPEEDUP_GATE}x "
+            f"on a {result.cpu_count}-core host"
+        )

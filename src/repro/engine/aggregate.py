@@ -60,6 +60,33 @@ class AggregateState(ABC):
     def delete(self, value: Any) -> None:
         """Unfold one deleted value from the state."""
 
+    def merge(self, other: "AggregateState") -> None:
+        """Combine another partial state of the same aggregate into this one.
+
+        The combine step of parallel partial aggregation: workers fold
+        disjoint partitions of the input into private states, and the
+        single-threaded merge loop combines them.  Merging charges
+        **nothing** -- every folded value was already tallied by the
+        worker that inserted it, and replayed at the merge point, so
+        simulated costs stay identical to a serial fold.
+
+        Order caveat: merging reassociates the fold.  COUNT/MIN/MAX are
+        order-insensitive, so any partitioning is safe; SUM/AVG accumulate
+        floats sequentially, so the scheduler must partition by *group*
+        (each group folded by exactly one worker, in block order) for
+        results to stay bit-identical to serial execution.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support merge()"
+        )
+
+    def _check_mergeable(self, other: "AggregateState") -> None:
+        if type(other) is not type(self):
+            raise ExecutionError(
+                f"cannot merge {type(other).__name__} into "
+                f"{type(self).__name__}"
+            )
+
     @abstractmethod
     def result(self) -> Any:
         """Current aggregate value (None over an empty group)."""
@@ -94,6 +121,10 @@ class CountState(AggregateState):
         if self._count == 0:
             raise ExecutionError("COUNT underflow: delete from empty group")
         self._count -= 1
+
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        self._count += other._count
 
     def result(self) -> int:
         return self._count
@@ -130,6 +161,13 @@ class SumState(AggregateState):
             raise ExecutionError("SUM underflow: delete from empty group")
         self._sum -= value
         self._count -= 1
+
+    def merge(self, other: AggregateState) -> None:
+        # Reassociates float accumulation: only safe when each group is
+        # folded whole by one worker (see AggregateState.merge).
+        self._check_mergeable(other)
+        self._sum += other._sum
+        self._count += other._count
 
     def result(self) -> float | None:
         return self._sum if self._count else None
@@ -210,6 +248,19 @@ class _ExtremumState(AggregateState):
                 self._choose(self._multiset) if self._multiset else None
             )
 
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        multiset = self._multiset
+        for value, have in other._multiset.items():
+            multiset[value] = multiset.get(value, 0) + have
+        self._count += other._count
+        self.recomputations += other.recomputations
+        if other._extremum is not None and (
+            self._extremum is None
+            or self._beats(other._extremum, self._extremum)
+        ):
+            self._extremum = other._extremum
+
     def result(self) -> Any:
         return self._extremum
 
@@ -246,6 +297,14 @@ _STATE_FACTORIES = {
     "max": MaxState,
 }
 
+#: Aggregates whose fold reassociates under merge (float accumulation).
+#: The parallel scheduler partitions these by *group key* so every group
+#: folds wholly on one partition, in block order -- results stay
+#: bit-identical to serial.  Order-insensitive aggregates partition by
+#: block round-robin instead, which exercises genuine cross-partition
+#: :meth:`AggregateState.merge` combining.
+ORDER_SENSITIVE_FUNCS = frozenset({"sum", "avg"})
+
 
 def make_aggregate_state(
     func: str, counter: OperationCounter | None = None
@@ -258,6 +317,28 @@ def make_aggregate_state(
             f"unknown aggregate {func!r}; have {sorted(_STATE_FACTORIES)}"
         ) from None
     return factory(counter)
+
+
+def bucket_block(block, group_positions, value_block_fn) -> dict[tuple, list]:
+    """Compute and bucket one block's aggregate inputs by group key.
+
+    Returns ``{group_key: [values in row order]}``; the empty tuple keys
+    the scalar (no group-by) case.  Charge-free and shared by the serial
+    blocked fold and the parallel partial-aggregation workers, so both
+    produce identical bucket contents in identical order.
+    """
+    values = value_block_fn(block)
+    if not group_positions:
+        return {(): values}
+    key_columns = [block.column(p) for p in group_positions]
+    buckets: dict[tuple, list] = {}
+    for key, value in zip(zip(*key_columns), values):
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [value]
+        else:
+            bucket.append(value)
+    return buckets
 
 
 class Aggregate(Operator):
@@ -279,6 +360,10 @@ class Aggregate(Operator):
         self.child = child
         self.counter = child.counter
         self.func = func.lower()
+        #: The uncompiled value expression.  The parallel executor ships
+        #: it (not the closures, which cannot pickle) to process-backend
+        #: workers, matching :attr:`Filter.predicate`.
+        self.value = value
         self._value_fn = value.compile(child.layout)
         self._value_block_fn = value.compile_block(child.layout)
         self._group_positions = [
@@ -321,25 +406,9 @@ class Aggregate(Operator):
         rows_in = 0
         for block in self.child.blocks(block_size):
             rows_in += len(block)
-            values = value_block_fn(block)
-            if not group_positions:
-                key = ()
-                state = groups.get(key)
-                if state is None:
-                    state = make_aggregate_state(self.func, self.counter)
-                    groups[key] = state
-                state.insert_many(values)
-                continue
             # Bucket this block's values by group key, preserving row order
             # within each group, then fold each bucket in one bulk call.
-            key_columns = [block.column(p) for p in group_positions]
-            buckets: dict[tuple, list] = {}
-            for key, value in zip(zip(*key_columns), values):
-                bucket = buckets.get(key)
-                if bucket is None:
-                    buckets[key] = [value]
-                else:
-                    bucket.append(value)
+            buckets = bucket_block(block, group_positions, value_block_fn)
             for key, bucket in buckets.items():
                 state = groups.get(key)
                 if state is None:

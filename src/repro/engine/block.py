@@ -86,6 +86,16 @@ class RowBlock:
     def __len__(self) -> int:
         return self._length
 
+    @property
+    def is_columnar(self) -> bool:
+        """True when the column-major view is already materialized.
+
+        Fast paths key on this to gather column-by-column instead of
+        forcing the full row transpose (see :meth:`take` and the hash
+        join's probe kernel).
+        """
+        return self._columns is not None
+
     def rows(self) -> list[tuple]:
         """The row-major view (lazily transposed once, then cached)."""
         if self._rows is None:

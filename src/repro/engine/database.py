@@ -238,10 +238,14 @@ class Database:
     def _pull(self, plan: Operator) -> list[tuple]:
         """Drain a plan's output, blocked or row-at-a-time per config.
 
-        With ``workers >= 1`` and a parallelizable plan (a pure
-        scan→filter→project chain), blocks are evaluated on the worker
+        With ``workers >= 1`` and a parallelizable plan (a
+        scan→filter→project chain, optionally through hash-join probes
+        and a terminal aggregate), blocks are evaluated on the worker
         pool and merged here in block order; every other plan shape uses
         the serial blocked pipeline.  Both paths charge identical costs.
+        A chain that decomposes but cannot run on the configured backend
+        falls back to serial, counted by ``engine.parallel.fallback``
+        (never silently).
         """
         if self.block_size is None:
             return plan.rows()
@@ -249,9 +253,12 @@ class Database:
         if self.workers >= 1:
             chain = parallel_mod.decompose_chain(plan)
             if chain is not None:
-                blocks = self._parallel_executor().execute(
-                    chain, self.block_size, self.counter
-                )
+                try:
+                    blocks = self._parallel_executor().execute(
+                        chain, self.block_size, self.counter
+                    )
+                except parallel_mod.ParallelUnsupported:
+                    obs.counter("engine.parallel.fallback")
         if blocks is None:
             blocks = plan.blocks(self.block_size)
         rows: list[tuple] = []

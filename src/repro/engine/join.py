@@ -169,6 +169,50 @@ class IndexNestedLoopJoin(Operator):
                 recorder.counter("engine.join.rows_out", rows_out)
 
 
+def probe_block(
+    lblock: RowBlock, pos: int, table: dict, layout: dict
+) -> RowBlock | None:
+    """Probe one left block against a built hash table, charge-free.
+
+    Returns the joined block (left tuple ++ right tuple per match, in
+    left-block row order) or None when nothing matched.  Charging --
+    ``hash_probes`` per input row, ``tuple_cpu`` per output row -- stays
+    with the caller: the serial pipeline charges its counter inline,
+    parallel workers record a local tally that the coordinator replays at
+    the in-order merge.
+
+    Column-major inputs take a gather fast path: match indices are
+    collected from the key column alone, left columns are gathered
+    column-by-column (like :meth:`RowBlock.take`), and the output stays
+    column-major -- the left block's row view is never materialized.
+    """
+    keys = lblock.column(pos)
+    if lblock.is_columnar:
+        idx: list[int] = []
+        matches: list[tuple] = []
+        for i, key in enumerate(keys):
+            for rrow in table.get(key, ()):
+                idx.append(i)
+                matches.append(rrow)
+        if not matches:
+            return None
+        left_width = len(lblock.layout)
+        out_columns = [
+            [column[i] for i in idx]
+            for column in (lblock.column(p) for p in range(left_width))
+        ]
+        out_columns.extend(list(c) for c in zip(*matches))
+        return RowBlock.from_columns(out_columns, layout, length=len(matches))
+    out = [
+        lrow + rrow
+        for lrow, key in zip(lblock.rows(), keys)
+        for rrow in table.get(key, ())
+    ]
+    if not out:
+        return None
+    return RowBlock.from_rows(out, layout)
+
+
 class HashJoin(Operator):
     """Equi-join: build a hash table on the right side, stream the left.
 
@@ -240,15 +284,11 @@ class HashJoin(Operator):
             for lblock in self.left.blocks(block_size):
                 probes += len(lblock)
                 self.counter.charge("hash_probes", len(lblock))
-                out = [
-                    lrow + rrow
-                    for lrow, key in zip(lblock.rows(), lblock.column(pos))
-                    for rrow in table.get(key, ())
-                ]
-                if out:
-                    self.counter.charge("tuple_cpu", len(out))
-                    rows_out += len(out)
-                    yield RowBlock.from_rows(out, layout)
+                joined = probe_block(lblock, pos, table, layout)
+                if joined is not None:
+                    self.counter.charge("tuple_cpu", len(joined))
+                    rows_out += len(joined)
+                    yield joined
         finally:
             recorder = obs.get_recorder()
             if recorder is not None:

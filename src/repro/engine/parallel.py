@@ -1,73 +1,106 @@
 """Parallel block pipelines: independent :class:`RowBlock` tasks on a pool.
 
 The RowBlock refactor made the chunk the engine's unit of *work*; this
-module makes it the unit of *scheduling*.  A scan→filter→project chain
-has no cross-block data flow, so its blocks can be evaluated
-concurrently -- the shape high-throughput IVM engines (DBToaster-style
-delta pipelines) get their speed from -- provided three invariants hold:
+module makes it the unit of *scheduling*.  Three plan shapes fan out:
+
+* scan→filter→project chains (PR 5): no cross-block data flow at all;
+* hash joins: the build side is consumed **once on the coordinator** when
+  the plan is constructed (:class:`~repro.engine.join.HashJoin` builds in
+  ``__init__``), after which probing is per-block independent -- workers
+  probe charge-free against the shared read-only table via
+  :func:`~repro.engine.join.probe_block`;
+* grouped/scalar aggregation: workers bucket their block's values by
+  group key (phase 1), a partition-aware scheduler assigns buckets to
+  per-worker partitions, partition fold tasks build partial
+  :class:`~repro.engine.aggregate.AggregateState`s (phase 2), and a
+  single-threaded combine merges them via ``state.merge()``.
+
+Invariants (enforced by ``tests/integration/test_block_equivalence.py``):
 
 1. **Charging stays centralized.**  Workers never touch the shared
    :class:`~repro.engine.costmodel.OperationCounter`.  Each task runs
-   charge-free compiled kernels over its block and returns a *local
-   tally* of exactly what serial execution would have charged; the
-   single-threaded merge loop replays each tally into the real counter
-   as it consumes results **in block order**.  Simulated page/CPU costs
-   are therefore bit-identical to serial and row-mode execution (the
-   PR 3 invariant, enforced by
-   ``tests/integration/test_block_equivalence.py``), and
-   ``counter.window()`` brackets still mean what they meant.
-2. **Results merge in block order.**  The merge yields output blocks in
-   submission order regardless of completion order, so result rows are
-   byte-identical to serial execution.
+   charge-free kernels and returns a *local tally* of exactly what serial
+   execution would have charged; the single-threaded merge loop replays
+   each tally into the real counter as it consumes results **in block
+   order**.  Simulated page/CPU costs are therefore bit-identical to
+   serial and row-mode execution at any worker count, including through
+   IVM delta-join maintenance paths.
+2. **Results are bit-identical, floats included.**  Output blocks merge
+   in submission order.  For aggregation, SUM/AVG accumulate floats
+   sequentially, so reassociating the fold would change low bits: the
+   scheduler partitions order-sensitive aggregates by *group key*
+   (deterministic ``crc32`` of the key's ``repr`` -- not ``hash()``,
+   which string randomization varies across processes), so every group
+   folds wholly on one partition in block order.  Order-insensitive
+   aggregates (COUNT/MIN/MAX) partition by block round-robin, which
+   exercises genuine cross-partition ``merge()`` combining.
 3. **Workers adopt the run's recorder.**  Thread workers run under
-   :meth:`~repro.obs.recorder.Recorder.wrap` /
-   ``obs.install_in_thread``, so per-task instrumentation
-   (``engine.parallel.worker_busy_ms``) lands in the same registry as
-   the merge thread's metrics.
+   :meth:`~repro.obs.recorder.Recorder.wrap`, so per-task
+   instrumentation lands in the run's registry; per-operator obs counts
+   (``engine.join.hash.*``) ride back with each result and are replayed
+   at the merge so both backends report serial-identical totals.
 
 Two backends:
 
 ``"thread"`` (default)
     A :class:`~concurrent.futures.ThreadPoolExecutor`.  No pickling, no
-    process spin-up; under the GIL it overlaps rather than multiplies
-    pure-Python kernel time, so its value is pipeline overlap and the
-    scheduling machinery itself.
+    process spin-up; the hash table is shared by reference.
 ``"process"`` (opt-in)
-    A :class:`~concurrent.futures.ProcessPoolExecutor` for CPU-bound
-    ``compile_block`` expression evaluation.  Compiled closures do not
-    pickle, so tasks carry the expression *tree* plus raw row tuples and
-    the worker compiles kernels on arrival
-    (:func:`~repro.engine.expr.compile_block_cached` memoizes per
-    process).  Worth it when per-row expression work dominates the
-    per-block IPC cost; see ``benchmarks/bench_parallel_pipeline.py``.
+    A :class:`~concurrent.futures.ProcessPoolExecutor`.  Compiled
+    closures do not pickle, so tasks carry expression *trees* compiled on
+    arrival (:func:`~repro.engine.expr.compile_block_cached` memoizes per
+    process).  Hash tables are shipped as a **pickled snapshot spooled to
+    a temp file once per query**; each worker process loads and memoizes
+    it by token on first use, so the (potentially large) table crosses
+    the process boundary once per worker instead of once per block.  See
+    DESIGN.md for the tradeoff against per-worker rebuilds.
+
+A chain that *decomposes* but cannot be executed by the configured
+backend (unpicklable predicate, foreign operator subclass, snapshot
+spool failure) raises :class:`ParallelUnsupported` from
+:meth:`ParallelBlockExecutor.execute` **before any charging**; the
+database falls back to the serial blocked pipeline and bumps
+``engine.parallel.fallback``.
 
 Configuration precedence for the pool size: an explicit
 ``Database(workers=N)`` argument, else the process-global default set by
 :func:`set_default_workers` (the CLI's ``--workers N`` flag), else the
-``REPRO_WORKERS`` environment variable, else ``0`` (serial).  Workers
-``>= 1`` route eligible plans through the pool; ``0`` keeps the serial
-blocked pipeline.  The backend resolves the same way through
-``--parallel-backend`` / ``REPRO_PARALLEL_BACKEND``.
+``REPRO_WORKERS`` environment variable, else ``0`` (serial).  The
+backend resolves the same way through ``--parallel-backend`` /
+``REPRO_PARALLEL_BACKEND``.
 
 Metric family (see ``docs/observability.md``): ``engine.parallel.queries``,
-``.tasks``, ``.queue_depth``, ``.merge_wait_ms``, ``.worker_busy_ms``.
+``.tasks``, ``.queue_depth``, ``.merge_wait_ms``, ``.worker_busy_ms``,
+``.fallback``, ``engine.parallel.join.{plans,probe_blocks,rows_out,
+snapshot_bytes}``, ``engine.parallel.agg.{plans,partitions,fold_tasks}``.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
+import pickle
+import tempfile
 import threading
 import time
 import weakref
+import zlib
 from collections import deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Sequence
 
 from repro import obs
+from repro.engine.aggregate import (
+    ORDER_SENSITIVE_FUNCS,
+    Aggregate,
+    bucket_block,
+    make_aggregate_state,
+)
 from repro.engine.block import RowBlock, iter_blocks
 from repro.engine.costmodel import OperationCounter
-from repro.engine.expr import Expression, compile_block_cached
+from repro.engine.expr import compile_block_cached
+from repro.engine.join import HashJoin, probe_block
 from repro.engine.operators import Filter, Operator, Project, RowSource, SeqScan
 
 #: Environment variable supplying the default worker count (CI's
@@ -86,6 +119,16 @@ SUBMIT_WINDOW_PER_WORKER = 4
 _defaults_lock = threading.Lock()
 _default_workers: int | None = None
 _default_backend: str | None = None
+
+
+class ParallelUnsupported(RuntimeError):
+    """A decomposed chain cannot run on this executor/backend.
+
+    Raised from :meth:`ParallelBlockExecutor.execute` *before any cost is
+    charged*, so :meth:`Database._pull` can fall back to the serial
+    blocked pipeline (bumping ``engine.parallel.fallback``) with no
+    double counting.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -163,84 +206,119 @@ def resolve_backend(explicit: str | None = None) -> str:
 
 @dataclass(frozen=True)
 class ChainPlan:
-    """A scan→filter→project chain decomposed for per-block execution.
+    """A plan decomposed for per-block execution.
 
-    ``stages`` run source-outward.  Joins and aggregates are excluded on
-    purpose: a hash join's build side and an aggregate's fold order are
-    cross-block state, so those operators stay on the serial pipeline
-    (the merge consumes whatever the chain under them produced).
+    ``stages`` run source-outward and may include :class:`HashJoin` probe
+    stages (the join's build side was already consumed on the coordinator
+    when the plan was constructed).  ``aggregate`` is a terminal
+    :class:`Aggregate`, executed as two-phase partitioned partial
+    aggregation.  Index-nested-loop joins stay serial: their probes hit a
+    live snapshot index rather than an immutable build table.
     """
 
     source: Operator  # SeqScan | RowSource
-    stages: tuple  # Filter | Project, source-outward
+    stages: tuple  # Filter | Project | HashJoin, source-outward
+    aggregate: Aggregate | None = None
 
     @property
     def layout(self) -> Mapping[str, int]:
+        if self.aggregate is not None:
+            return self.aggregate.layout
         return self.stages[-1].layout if self.stages else self.source.layout
 
 
 def decompose_chain(plan: Operator) -> ChainPlan | None:
     """Decompose ``plan`` into a parallelizable chain, or ``None``.
 
-    Eligible: any stack of :class:`Filter` / :class:`Project` over a
-    :class:`SeqScan` or :class:`RowSource` leaf.  Everything else (joins,
-    aggregates, operators from outside the engine) runs serially.
+    Eligible: any stack of :class:`Filter` / :class:`Project` /
+    :class:`HashJoin` (probe side) over a :class:`SeqScan` or
+    :class:`RowSource` leaf, optionally topped by one :class:`Aggregate`.
+    Everything else (index-nested-loop joins, nested-loop joins,
+    operators from outside the engine) runs serially.
     """
-    stages: list[Operator] = []
+    aggregate = None
     node = plan
-    while isinstance(node, (Filter, Project)):
-        stages.append(node)
+    if isinstance(node, Aggregate):
+        aggregate = node
         node = node.child
+    stages: list[Operator] = []
+    while isinstance(node, (Filter, Project, HashJoin)):
+        stages.append(node)
+        node = node.left if isinstance(node, HashJoin) else node.child
     if not isinstance(node, (SeqScan, RowSource)):
         return None
     stages.reverse()
-    return ChainPlan(source=node, stages=tuple(stages))
+    return ChainPlan(source=node, stages=tuple(stages), aggregate=aggregate)
 
 
 # ----------------------------------------------------------------------
 # Task kernels (charge-free: they fill a local tally, never a counter)
 # ----------------------------------------------------------------------
 
-# A compiled stage is ("filter", block_fn, None) or
-# ("project", positions, out_layout).
+# A compiled stage is ("filter", block_fn, None),
+# ("project", positions, out_layout), or
+# ("join", (left_pos, table), out_layout).
 _CompiledStage = tuple
 
 
 def _compile_thread_stages(stages: Sequence[Operator]) -> list[_CompiledStage]:
-    """Reuse the operators' already-compiled block kernels (same process)."""
+    """Reuse the operators' already-compiled block kernels (same process).
+
+    Join stages carry the coordinator-built hash table *by reference*:
+    worker threads probe it read-only, which is safe because the table is
+    immutable after :class:`HashJoin` construction.
+    """
     compiled: list[_CompiledStage] = []
     for stage in stages:
-        if isinstance(stage, Filter):
+        if type(stage) is Filter:
             compiled.append(("filter", stage._block_fn, None))
-        else:
+        elif type(stage) is Project:
             compiled.append(("project", tuple(stage._positions), stage.layout))
+        else:
+            compiled.append(("join", (stage._left_pos, stage._table), stage.layout))
     return compiled
 
 
-def _portable_stages(stages: Sequence[Operator]) -> tuple:
-    """Picklable stage specs: expression trees + layouts, no closures."""
+def _portable_stages(stages: Sequence[Operator]) -> tuple[tuple, dict]:
+    """Picklable stage specs plus the hash tables they reference.
+
+    Join stages name their table by stage index; the tables dict is
+    spooled once per query (see :meth:`ParallelBlockExecutor._prepare`)
+    and resolved worker-side by :func:`_load_spool`.
+    """
     portable: list[tuple] = []
-    for stage in stages:
-        if isinstance(stage, Filter):
+    tables: dict[int, dict] = {}
+    for index, stage in enumerate(stages):
+        if type(stage) is Filter:
             portable.append(("filter", stage.predicate, dict(stage.layout)))
-        else:
+        elif type(stage) is Project:
             portable.append(
                 ("project", tuple(stage._positions), dict(stage.layout))
             )
-    return tuple(portable)
+        else:
+            tables[index] = stage._table
+            portable.append(
+                ("join", (stage._left_pos, index), dict(stage.layout))
+            )
+    return tuple(portable), tables
 
 
 def _apply_stages(
     block: RowBlock | None,
     compiled: Sequence[_CompiledStage],
     tally: dict[str, int],
+    obs_counts: dict[str, int],
 ) -> RowBlock | None:
     """Run a block through compiled stages, mirroring the serial pipeline.
 
-    Charge accounting matches ``Filter.blocks``/``Project.blocks``
-    exactly: one ``compares`` per filter input row, one ``tuple_cpu`` per
-    projected row, and a block that filters to empty stops flowing (the
-    serial pipeline never hands empty blocks downstream).
+    Charge accounting matches ``Filter.blocks``/``Project.blocks``/
+    ``HashJoin.blocks`` exactly: one ``compares`` per filter input row,
+    one ``tuple_cpu`` per projected row, one ``hash_probes`` per probe
+    input row plus ``tuple_cpu`` per joined row, and a block that comes
+    up empty stops flowing (the serial pipeline never hands empty blocks
+    downstream).  Per-operator obs counts accumulate in ``obs_counts``
+    for replay at the merge, so metric totals equal serial execution on
+    both backends.
     """
     for kind, spec, out_layout in compiled:
         if kind == "filter":
@@ -251,52 +329,165 @@ def _apply_stages(
                 if not keep:
                     return None
                 block = block.take(keep)
-        else:
+        elif kind == "project":
             tally["tuple_cpu"] = tally.get("tuple_cpu", 0) + len(block)
             block = RowBlock.from_columns(
                 [block.column(p) for p in spec], out_layout, length=len(block)
             )
+        else:
+            pos, table = spec
+            probes = len(block)
+            tally["hash_probes"] = tally.get("hash_probes", 0) + probes
+            obs_counts["engine.join.hash.probes"] = (
+                obs_counts.get("engine.join.hash.probes", 0) + probes
+            )
+            obs_counts["engine.parallel.join.probe_blocks"] = (
+                obs_counts.get("engine.parallel.join.probe_blocks", 0) + 1
+            )
+            joined = probe_block(block, pos, table, out_layout)
+            if joined is None:
+                return None
+            rows_out = len(joined)
+            tally["tuple_cpu"] = tally.get("tuple_cpu", 0) + rows_out
+            for name in (
+                "engine.join.hash.rows_out",
+                "engine.join.rows_out",
+                "engine.parallel.join.rows_out",
+            ):
+                obs_counts[name] = obs_counts.get(name, 0) + rows_out
+            block = joined
     return block
 
 
 def _thread_task(
     block: RowBlock, compiled: Sequence[_CompiledStage]
-) -> tuple[RowBlock | None, dict[str, int], float]:
+) -> tuple[RowBlock | None, dict[str, int], dict[str, int], float]:
     """One thread-backend task: kernels only, charges to a local tally."""
     start = time.perf_counter()
     tally = {"tuple_cpu": len(block)}  # the source stage's per-block CPU
-    out = _apply_stages(block, compiled, tally)
+    obs_counts: dict[str, int] = {}
+    out = _apply_stages(block, compiled, tally, obs_counts)
     busy_ms = (time.perf_counter() - start) * 1e3
     # Lands in the run's registry because the submitter wrapped this task
     # with Recorder.wrap (obs.install_in_thread); no-op otherwise.
     obs.observe("engine.parallel.worker_busy_ms", busy_ms)
-    return out, tally, busy_ms
+    return out, tally, obs_counts, busy_ms
+
+
+def _thread_agg_task(
+    block: RowBlock,
+    compiled: Sequence[_CompiledStage],
+    agg_compiled: tuple,
+) -> tuple[dict | None, dict[str, int], dict[str, int], float]:
+    """Phase-1 aggregation task: run the stages, then bucket by group key.
+
+    Folding happens in phase 2 (the partition fold tasks); here the
+    values are only grouped, so no ``agg_updates`` are tallied yet.
+    """
+    start = time.perf_counter()
+    tally = {"tuple_cpu": len(block)}
+    obs_counts: dict[str, int] = {}
+    out = _apply_stages(block, compiled, tally, obs_counts)
+    buckets = None
+    if out is not None:
+        group_positions, value_block_fn = agg_compiled
+        buckets = bucket_block(out, group_positions, value_block_fn)
+    busy_ms = (time.perf_counter() - start) * 1e3
+    obs.observe("engine.parallel.worker_busy_ms", busy_ms)
+    return buckets, tally, obs_counts, busy_ms
+
+
+#: Worker-process memo of spooled hash-table snapshots, keyed by spool
+#: token.  Cleared on every miss: queries run one at a time per pool, so
+#: at most one (current) snapshot stays resident per worker.
+_SPOOL_CACHE: dict[str, dict] = {}
+_SPOOL_SEQ = itertools.count()
+
+
+def _load_spool(spool: tuple[str, str]) -> dict:
+    """Load (once per worker process) the spooled hash-table snapshot."""
+    token, path = spool
+    tables = _SPOOL_CACHE.get(token)
+    if tables is None:
+        with open(path, "rb") as fh:
+            tables = pickle.load(fh)
+        _SPOOL_CACHE.clear()
+        _SPOOL_CACHE[token] = tables
+    return tables
 
 
 def _process_task(
     payload: tuple,
-) -> tuple[list[tuple] | None, dict[str, int], float]:
+) -> tuple[object, dict[str, int], dict[str, int], float]:
     """One process-backend task: compile shipped expression trees, run.
 
-    Returns plain row tuples (blocks would pickle fine but carry nothing
-    extra back); the merge rebuilds a :class:`RowBlock` with the chain's
-    output layout.
+    Plain chains return row tuples (the merge rebuilds a
+    :class:`RowBlock` with the chain's output layout); aggregation chains
+    return phase-1 buckets, which pickle as-is.
     """
-    rows, layout, portable = payload
+    rows, layout, portable, spool, agg_portable = payload
     start = time.perf_counter()
     block = RowBlock.from_rows(rows, layout)
+    tables = _load_spool(spool) if spool is not None else None
     compiled: list[_CompiledStage] = []
     for kind, spec, stage_layout in portable:
         if kind == "filter":
             compiled.append(
                 ("filter", compile_block_cached(spec, stage_layout), None)
             )
-        else:
+        elif kind == "project":
             compiled.append(("project", spec, stage_layout))
+        else:
+            pos, table_key = spec
+            compiled.append(("join", (pos, tables[table_key]), stage_layout))
     tally = {"tuple_cpu": len(block)}
-    out = _apply_stages(block, compiled, tally)
+    obs_counts: dict[str, int] = {}
+    out = _apply_stages(block, compiled, tally, obs_counts)
+    result: object
+    if out is None:
+        result = None
+    elif agg_portable is not None:
+        group_positions, value_expr, child_layout = agg_portable
+        value_block_fn = compile_block_cached(value_expr, child_layout)
+        result = bucket_block(out, group_positions, value_block_fn)
+    else:
+        result = out.rows()
     busy_ms = (time.perf_counter() - start) * 1e3
-    return (None if out is None else out.rows(), tally, busy_ms)
+    return result, tally, obs_counts, busy_ms
+
+
+def _fold_task(
+    payload: tuple,
+) -> tuple[dict, dict[str, int], float]:
+    """Phase-2 task: fold one partition's buckets into partial states.
+
+    ``payload`` is ``(func, [(group_key, [values in block order]), ...])``.
+    States are built charge-free (``counter=None``); the ``agg_updates``
+    the serial fold would have charged ride back as a tally.  Shared by
+    both backends (states pickle: they are plain module-level classes).
+    """
+    func, items = payload
+    start = time.perf_counter()
+    states: dict[tuple, object] = {}
+    folded = 0
+    for key, values in items:
+        state = make_aggregate_state(func, None)
+        state.insert_many(values)
+        states[key] = state
+        folded += len(values)
+    busy_ms = (time.perf_counter() - start) * 1e3
+    obs.observe("engine.parallel.worker_busy_ms", busy_ms)
+    return states, {"agg_updates": folded}, busy_ms
+
+
+def _partition_for_key(key: tuple, partitions: int) -> int:
+    """Deterministic partition of a group key.
+
+    ``crc32`` of the key's ``repr``, *not* built-in ``hash()``: string
+    hash randomization would assign groups differently in every worker
+    process, breaking cross-process determinism of the fold schedule.
+    """
+    return zlib.crc32(repr(key).encode("utf-8")) % partitions
 
 
 # ----------------------------------------------------------------------
@@ -307,6 +498,17 @@ def _process_task(
 def _shutdown_pool(pool: Executor) -> None:
     """GC-safety finalizer: release pool threads/processes promptly."""
     pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class _PreparedChain:
+    """A validated, backend-compiled chain, ready to fan out."""
+
+    task: Callable
+    make_args: Callable[[RowBlock], tuple]
+    fold_task: Callable
+    spool: tuple[str, str] | None  # (token, temp file) for process joins
+    has_join: bool
 
 
 class ParallelBlockExecutor:
@@ -328,6 +530,7 @@ class ParallelBlockExecutor:
         self.backend = backend
         self._pool: Executor | None = None
         self._finalizer: weakref.finalize | None = None
+        self._spools: set[str] = set()
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -362,6 +565,122 @@ class ParallelBlockExecutor:
             finalizer.detach()
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        spools, self._spools = self._spools, set()
+        for path in spools:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # -- preparation --------------------------------------------------------
+
+    def _prepare(self, chain: ChainPlan) -> _PreparedChain:
+        """Validate and backend-compile a chain; charge-free.
+
+        Raises :class:`ParallelUnsupported` when the chain decomposed but
+        cannot be satisfied here: an operator subclass without the
+        engine's compiled kernels, a predicate or hash table that does
+        not pickle for process workers, or a snapshot spool failure.
+        """
+        for stage in chain.stages:
+            if type(stage) not in (Filter, Project, HashJoin):
+                raise ParallelUnsupported(
+                    f"stage {type(stage).__name__} has no parallel kernel"
+                )
+        agg = chain.aggregate
+        if agg is not None and type(agg) is not Aggregate:
+            raise ParallelUnsupported(
+                f"aggregate {type(agg).__name__} has no parallel kernel"
+            )
+
+        if self.backend == "thread":
+            compiled = _compile_thread_stages(chain.stages)
+            if agg is None:
+                task: Callable = _thread_task
+
+                def make_args(block: RowBlock) -> tuple:
+                    return (block, compiled)
+
+            else:
+                task = _thread_agg_task
+                agg_compiled = (
+                    tuple(agg._group_positions), agg._value_block_fn
+                )
+
+                def make_args(block: RowBlock) -> tuple:
+                    return (block, compiled, agg_compiled)
+
+            fold: Callable = _fold_task
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                task = recorder.wrap(task)  # adopt the run's recorder
+                fold = recorder.wrap(fold)
+            return _PreparedChain(
+                task, make_args, fold,
+                spool=None,
+                has_join=any(type(s) is HashJoin for s in chain.stages),
+            )
+
+        portable, tables = _portable_stages(chain.stages)
+        agg_portable = None
+        if agg is not None:
+            agg_portable = (
+                tuple(agg._group_positions),
+                agg.value,
+                dict(agg.child.layout),
+            )
+        try:
+            pickle.dumps(
+                (portable, agg_portable), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            raise ParallelUnsupported(
+                f"plan does not pickle for process workers: {exc}"
+            ) from exc
+        spool = None
+        if tables:
+            try:
+                payload = pickle.dumps(
+                    tables, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception as exc:
+                raise ParallelUnsupported(
+                    f"hash-table snapshot does not pickle: {exc}"
+                ) from exc
+            try:
+                fd, path = tempfile.mkstemp(
+                    prefix="repro-hashspool-", suffix=".pkl"
+                )
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+            except OSError as exc:
+                raise ParallelUnsupported(
+                    f"cannot spool hash-table snapshot: {exc}"
+                ) from exc
+            self._spools.add(path)
+            obs.observe("engine.parallel.join.snapshot_bytes", len(payload))
+            spool = (f"{os.getpid()}-{next(_SPOOL_SEQ)}", path)
+        source_layout = dict(chain.source.layout)
+
+        def make_args(block: RowBlock) -> tuple:
+            return ((block.rows(), source_layout, portable, spool, agg_portable),)
+
+        return _PreparedChain(
+            _process_task, make_args, _fold_task,
+            spool=spool,
+            has_join=bool(tables),
+        )
+
+    def _discard_spool(self, prepared: _PreparedChain) -> None:
+        if prepared.spool is None:
+            return
+        _, path = prepared.spool
+        prepared.spool = None
+        self._spools.discard(path)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
     # -- execution ----------------------------------------------------------
 
@@ -373,11 +692,33 @@ class ParallelBlockExecutor:
     ) -> Iterator[RowBlock]:
         """Yield the chain's output blocks, in block order.
 
-        All cost charging happens here, on the consuming thread: the
-        scan's setup (page reads) before the first task is submitted, and
-        each task's local tally as its result is merged.  The iterator is
-        a generator, so charges land exactly when blocks are consumed and
-        an abandoned iteration cancels whatever has not started.
+        Validation (:meth:`_prepare`) happens eagerly -- a chain this
+        executor cannot run raises :class:`ParallelUnsupported` here,
+        before anything is charged.  All cost charging happens inside the
+        returned generator, on the consuming thread: the scan's setup
+        (page reads) before the first task is submitted, and each task's
+        local tally as its result is merged -- so charges land exactly
+        when blocks are consumed and an abandoned iteration cancels
+        whatever has not started.
+        """
+        prepared = self._prepare(chain)
+        if chain.aggregate is not None:
+            return self._run_aggregate(prepared, chain, block_size, counter)
+        return self._run_stream(prepared, chain, block_size, counter)
+
+    def _merged_tasks(
+        self,
+        prepared: _PreparedChain,
+        chain: ChainPlan,
+        block_size: int,
+        counter: OperationCounter,
+    ) -> Iterator[object]:
+        """Fan source blocks out; yield task outputs in block order.
+
+        Replays each task's cost tally into ``counter`` and its obs
+        counts into the run's registry as results are consumed; skips
+        tasks whose block came up empty (their tallies still replay,
+        matching the serial pipeline's charges for filtered-out blocks).
         """
         source = chain.source
         if isinstance(source, SeqScan):
@@ -385,34 +726,13 @@ class ParallelBlockExecutor:
             source_rows: Sequence[tuple] = source.snapshot.row_list()
         else:
             source_rows = source._rows
-
-        task: Callable
-        if self.backend == "thread":
-            compiled = _compile_thread_stages(chain.stages)
-
-            def make_args(block: RowBlock) -> tuple:
-                return (block, compiled)
-
-            task = _thread_task
-            recorder = obs.get_recorder()
-            if recorder is not None:
-                task = recorder.wrap(task)  # adopt the run's recorder
-        else:
-            portable = _portable_stages(chain.stages)
-            source_layout = dict(source.layout)
-
-            def make_args(block: RowBlock) -> tuple:
-                return ((block.rows(), source_layout, portable),)
-
-            task = _process_task
-
-        out_layout = chain.layout
         pool = self._ensure_pool()
         window = self.workers * SUBMIT_WINDOW_PER_WORKER
         blocks = iter_blocks(source_rows, source.layout, block_size)
         pending: deque[Future] = deque()
         tasks = 0
-        obs.counter("engine.parallel.queries")
+        task = prepared.task
+        make_args = prepared.make_args
         try:
             exhausted = False
             while True:
@@ -428,7 +748,7 @@ class ParallelBlockExecutor:
                     break
                 future = pending.popleft()
                 wait_start = time.perf_counter()
-                out, tally, busy_ms = future.result()
+                out, tally, obs_counts, busy_ms = future.result()
                 obs.observe(
                     "engine.parallel.merge_wait_ms",
                     (time.perf_counter() - wait_start) * 1e3,
@@ -440,15 +760,120 @@ class ParallelBlockExecutor:
                 for field_name, count in tally.items():
                     if count:
                         counter.charge(field_name, count)
+                for name, amount in obs_counts.items():
+                    if amount:
+                        obs.counter(name, amount)
                 if out is None:
                     continue
-                if self.backend == "process":
-                    out = RowBlock.from_rows(out, out_layout)
                 yield out
         finally:
             obs.counter("engine.parallel.tasks", tasks)
             for future in pending:
                 future.cancel()
+
+    def _run_stream(
+        self,
+        prepared: _PreparedChain,
+        chain: ChainPlan,
+        block_size: int,
+        counter: OperationCounter,
+    ) -> Iterator[RowBlock]:
+        obs.counter("engine.parallel.queries")
+        if prepared.has_join:
+            obs.counter("engine.parallel.join.plans")
+        out_layout = chain.layout
+        try:
+            for out in self._merged_tasks(prepared, chain, block_size, counter):
+                if self.backend == "process":
+                    out = RowBlock.from_rows(out, out_layout)
+                yield out
+        finally:
+            self._discard_spool(prepared)
+
+    def _run_aggregate(
+        self,
+        prepared: _PreparedChain,
+        chain: ChainPlan,
+        block_size: int,
+        counter: OperationCounter,
+    ) -> Iterator[RowBlock]:
+        """Two-phase partitioned partial aggregation.
+
+        Phase 1 tasks bucket each block's values by group key; the merge
+        loop assigns buckets to one of ``workers`` partitions -- by group
+        key (crc32) for order-sensitive aggregates, round-robin by block
+        for order-insensitive ones (see the module docstring).  Phase 2
+        folds each partition into partial states on the pool, and the
+        single-threaded combine merges them with ``state.merge()`` in
+        partition order.
+        """
+        agg = chain.aggregate
+        assert agg is not None
+        obs.counter("engine.parallel.queries")
+        if prepared.has_join:
+            obs.counter("engine.parallel.join.plans")
+        obs.counter("engine.parallel.agg.plans")
+        func = agg.func
+        by_key = func in ORDER_SENSITIVE_FUNCS
+        partitions = self.workers
+        stores: list[dict] = [{} for _ in range(partitions)]
+        rows_in = 0
+        fold_futures: list[Future] = []
+        try:
+            merged = self._merged_tasks(prepared, chain, block_size, counter)
+            for index, buckets in enumerate(merged):
+                for key, values in buckets.items():
+                    rows_in += len(values)
+                    part = (
+                        _partition_for_key(key, partitions)
+                        if by_key
+                        else index % partitions
+                    )
+                    store = stores[part]
+                    bucket = store.get(key)
+                    if bucket is None:
+                        store[key] = values  # task-local list; safe to own
+                    else:
+                        bucket.extend(values)
+            payloads = [
+                (func, list(store.items())) for store in stores if store
+            ]
+            obs.counter("engine.parallel.agg.partitions", partitions)
+            obs.counter("engine.parallel.agg.fold_tasks", len(payloads))
+            pool = self._ensure_pool()
+            fold_futures = [
+                pool.submit(prepared.fold_task, payload)
+                for payload in payloads
+            ]
+            groups: dict[tuple, object] = {}
+            for future in fold_futures:
+                states, tally, busy_ms = future.result()
+                if self.backend == "process":
+                    obs.observe("engine.parallel.worker_busy_ms", busy_ms)
+                for field_name, count in tally.items():
+                    if count:
+                        counter.charge(field_name, count)
+                for key, state in states.items():
+                    existing = groups.get(key)
+                    if existing is None:
+                        groups[key] = state
+                    else:
+                        existing.merge(state)
+            obs.counter("engine.aggregate.rows_in", rows_in)
+            obs.counter("engine.aggregate.groups_out", len(groups))
+            if not groups and not agg._group_positions:
+                # Scalar aggregate over empty input, as in serial.
+                out_rows = [(make_aggregate_state(func, None).result(),)]
+            else:
+                out_rows = [
+                    key + (groups[key].result(),)
+                    for key in sorted(groups, key=repr)
+                ]
+            yield from iter_blocks(out_rows, agg.layout, block_size)
+        finally:
+            for future in fold_futures:
+                future.cancel()
+            self._discard_spool(prepared)
 
     def __repr__(self) -> str:
         state = "idle" if self._pool is None else "pooled"

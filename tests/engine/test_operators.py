@@ -176,3 +176,66 @@ class TestHashJoin:
             ).rows()
         )
         assert hash_rows == nl_rows
+
+
+class TestProbeBlockColumnarFastPath:
+    """probe_block(): column-major inputs gather without a transpose."""
+
+    LAYOUT = {"L.k": 0, "L.v": 1}
+    OUT = {"L.k": 0, "L.v": 1, "R.k": 2, "R.w": 3}
+    TABLE = {1: [(1, "a")], 2: [(2, "b"), (2, "c")]}
+
+    def test_columnar_input_is_never_transposed(self):
+        from repro.engine.block import RowBlock
+        from repro.engine.join import probe_block
+
+        block = RowBlock.from_columns([[1, 2, 3], [10, 20, 30]], self.LAYOUT)
+        joined = probe_block(block, 0, self.TABLE, self.OUT)
+        # The source block's row view was never materialized...
+        assert block._rows is None
+        # ...and the output stays column-major (no row view either).
+        assert joined._rows is None
+        assert joined.rows() == [
+            (1, 10, 1, "a"),
+            (2, 20, 2, "b"),
+            (2, 20, 2, "c"),
+        ]
+
+    def test_row_major_input_uses_row_path(self):
+        from repro.engine.block import RowBlock
+        from repro.engine.join import probe_block
+
+        block = RowBlock.from_rows([(2, 20), (9, 90)], self.LAYOUT)
+        joined = probe_block(block, 0, self.TABLE, self.OUT)
+        assert joined.rows() == [(2, 20, 2, "b"), (2, 20, 2, "c")]
+
+    def test_no_matches_returns_none(self):
+        from repro.engine.block import RowBlock
+        from repro.engine.join import probe_block
+
+        block = RowBlock.from_columns([[7, 8], [70, 80]], self.LAYOUT)
+        assert probe_block(block, 0, self.TABLE, self.OUT) is None
+        assert block._rows is None
+
+    def test_hash_join_blocks_keeps_projected_input_columnar(
+        self, toy_db, emp, dept
+    ):
+        """End-to-end: a Project child emits column-major blocks; the
+        join's blocked probe must consume them without transposing."""
+        seen: list = []
+
+        class Spy(Project):
+            def blocks(self, block_size):
+                for block in super().blocks(block_size):
+                    seen.append(block)
+                    yield block
+
+        left = Spy(
+            SeqScan(emp.snapshot(), "E", toy_db.counter),
+            ["E.name", "E.deptno"],
+        )
+        right = SeqScan(dept.snapshot(), "D", toy_db.counter)
+        join = HashJoin(left, right, "E.deptno", "D.deptno")
+        rows = [row for block in join.blocks(4) for row in block.rows()]
+        assert len(rows) == 5
+        assert seen and all(block._rows is None for block in seen)

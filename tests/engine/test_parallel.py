@@ -144,26 +144,46 @@ class TestDecomposeChain:
         assert chain.stages == ()
         assert chain.layout is scan.layout
 
-    def test_join_is_not_eligible(self, toy_db):
+    def test_hash_join_is_a_probe_stage(self, toy_db):
         from repro.engine.join import HashJoin
         from repro.engine.operators import Filter, SeqScan
 
         left = SeqScan(toy_db.table("emp").snapshot(), "E", toy_db.counter)
         right = SeqScan(toy_db.table("dept").snapshot(), "D", toy_db.counter)
         join = HashJoin(left, right, "E.deptno", "D.deptno")
-        assert decompose_chain(join) is None
-        # ...even under a filter: the chain walk stops at the join.
-        assert decompose_chain(
-            Filter(join, col("D.dname") == lit("eng"))
-        ) is None
+        chain = decompose_chain(join)
+        assert chain is not None
+        assert chain.source is left
+        assert chain.stages == (join,)
+        # ...and under a filter the chain keeps walking through the join.
+        filtered = Filter(join, col("D.dname") == lit("eng"))
+        chain = decompose_chain(filtered)
+        assert chain is not None
+        assert chain.stages == (join, filtered)
+        assert chain.layout == join.layout
 
-    def test_aggregate_is_not_eligible(self, toy_db):
+    def test_aggregate_is_a_terminal_stage(self, toy_db):
         from repro.engine.aggregate import Aggregate
         from repro.engine.operators import SeqScan
 
         scan = SeqScan(toy_db.table("emp").snapshot(), "E", toy_db.counter)
         agg = Aggregate(scan, "min", col("E.salary"), ())
-        assert decompose_chain(agg) is None
+        chain = decompose_chain(agg)
+        assert chain is not None
+        assert chain.source is scan
+        assert chain.aggregate is agg
+        assert chain.layout == agg.layout
+
+    def test_index_nested_loop_join_is_not_eligible(self, toy_db):
+        from repro.engine.join import IndexNestedLoopJoin
+        from repro.engine.operators import SeqScan
+
+        toy_db.table("dept").create_index("deptno")
+        left = SeqScan(toy_db.table("emp").snapshot(), "E", toy_db.counter)
+        join = IndexNestedLoopJoin(
+            left, toy_db.table("dept").snapshot(), "D", "E.deptno", "deptno"
+        )
+        assert decompose_chain(join) is None
 
 
 class TestParallelEquivalence:
@@ -190,7 +210,8 @@ class TestParallelEquivalence:
             assert db.counter.snapshot() == costs_serial
 
     def test_join_query_still_works_with_workers(self, toy_db):
-        """Joins aren't chain-eligible; the planner silently stays serial."""
+        """An unindexed join decomposes into a probe stage and runs
+        through the pool, producing the same rows as serial."""
         with Database(workers=4) as db:
             for name in ("emp", "dept"):
                 src = toy_db.table(name)
@@ -303,3 +324,137 @@ class TestLowFillInteraction:
                 warnings.simplefilter("error")
                 result = db.execute(QuerySpec(base_alias="T", base_table="t"))
             assert len(result) == 5
+
+
+def make_join_db(facts=300, dims=10, block_size=32, **kwargs):
+    """Fact + unindexed dim: join specs plan as HashJoin probe chains."""
+    db = Database(block_size=block_size, **kwargs)
+    fact = db.create_table(
+        "fact", Schema.of(k=ColumnType.INT, grp=ColumnType.INT, val=ColumnType.FLOAT)
+    )
+    dim = db.create_table(
+        "dim", Schema.of(k=ColumnType.INT, label=ColumnType.STR)
+    )
+    for i in range(facts):
+        fact.insert((i % dims, i % 5, float(i) * 0.25))
+    for i in range(dims):
+        dim.insert((i, f"d{i}"))
+    return db
+
+
+def join_agg_spec(func="sum"):
+    from repro.engine.query import AggregateSpec
+
+    return QuerySpec(
+        base_alias="F",
+        base_table="fact",
+        joins=(JoinSpec("D", "dim", "F.k", "k"),),
+        filters=(col("F.grp") < lit(4),),
+        aggregate=AggregateSpec(
+            func=func, value=col("F.val"), group_by=("D.label",)
+        ),
+    )
+
+
+class TestJoinAndAggregateParallel:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("func", ["sum", "avg", "count", "min", "max"])
+    def test_join_aggregate_matches_serial(self, backend, func):
+        serial = make_join_db(workers=0)
+        expected = serial.execute(join_agg_spec(func))
+        costs = serial.counter.snapshot()
+
+        with make_join_db(workers=2, parallel_backend=backend) as db:
+            result = db.execute(join_agg_spec(func))
+            assert result.rows == expected.rows
+            assert db.counter.snapshot() == costs
+
+    def test_join_and_agg_metrics_emitted(self):
+        with make_join_db(workers=2) as db:
+            with obs.recording() as rec:
+                db.execute(join_agg_spec())
+        reg = rec.registry
+        assert reg.get("engine.parallel.queries").value == 1
+        assert reg.get("engine.parallel.join.plans").value == 1
+        assert reg.get("engine.parallel.join.probe_blocks").value >= 1
+        assert reg.get("engine.parallel.join.rows_out").value > 0
+        assert reg.get("engine.parallel.agg.plans").value == 1
+        assert reg.get("engine.parallel.agg.partitions").value == 2
+        assert 1 <= reg.get("engine.parallel.agg.fold_tasks").value <= 2
+        # Per-operator counts replayed at the merge equal serial totals.
+        serial = make_join_db(workers=0)
+        with obs.recording() as serial_rec:
+            serial.execute(join_agg_spec())
+        for name in (
+            "engine.join.hash.probes",
+            "engine.join.hash.rows_out",
+            "engine.aggregate.rows_in",
+            "engine.aggregate.groups_out",
+        ):
+            assert reg.get(name).value == serial_rec.registry.get(name).value
+
+    def test_process_backend_spools_snapshot(self):
+        with make_join_db(workers=2, parallel_backend="process") as db:
+            with obs.recording() as rec:
+                db.execute(join_agg_spec())
+            assert rec.registry.get(
+                "engine.parallel.join.snapshot_bytes"
+            ).count == 1
+            # The spool file is removed once the query drains.
+            assert not db._parallel_executor()._spools
+
+    def test_scalar_aggregate_empty_input(self):
+        from repro.engine.query import AggregateSpec
+
+        with make_join_db(workers=2) as db:
+            spec = QuerySpec(
+                base_alias="F",
+                base_table="fact",
+                filters=(col("F.grp") == lit(99),),
+                aggregate=AggregateSpec(func="sum", value=col("F.val")),
+            )
+            result = db.execute(spec)
+            assert result.rows == [(None,)]
+
+
+class TestFallback:
+    def test_foreign_stage_falls_back_to_serial(self):
+        """A chain that decomposes but has no parallel kernel must run
+        serially and count the fallback, never error."""
+        from repro.engine.operators import Filter, SeqScan
+
+        class ForeignFilter(Filter):
+            """Decomposes (isinstance passes) but prepare() rejects it."""
+
+        with make_db(workers=2) as db:
+            scan = SeqScan(db.table("t").snapshot(), "T", db.counter)
+            plan = ForeignFilter(scan, col("T.grp") > lit(2))
+            with obs.recording() as rec:
+                rows = db._pull(plan)
+            assert len(rows) > 0
+            assert rec.registry.get("engine.parallel.fallback").value == 1
+            assert rec.registry.get("engine.parallel.queries") is None
+
+    def test_unpicklable_plan_falls_back_on_process_backend(self):
+        class Opaque:  # local class: pickle cannot resolve it by name
+            def __eq__(self, other):
+                return False
+
+        with make_db(workers=2, parallel_backend="process") as db:
+            spec = chain_spec(filters=(col("T.k") == lit(Opaque()),))
+            with obs.recording() as rec:
+                result = db.execute(spec)
+            assert result.rows == []
+            assert rec.registry.get("engine.parallel.fallback").value == 1
+
+    def test_fallback_charges_match_serial(self):
+        class Opaque:
+            def __eq__(self, other):
+                return False
+
+        serial = make_db(workers=0)
+        spec = chain_spec(filters=(col("T.k") == lit(Opaque()),))
+        serial.execute(spec)
+        with make_db(workers=2, parallel_backend="process") as db:
+            db.execute(spec)
+            assert db.counter.snapshot() == serial.counter.snapshot()

@@ -48,17 +48,24 @@ WORKER_COUNTS = (1, 2, 8)  # parallel pool sizes under differential test
 
 
 def build_db(
-    block_size: int | None, seed: int, workers: int | None = None
+    block_size: int | None,
+    seed: int,
+    workers: int | None = None,
+    backend: str | None = None,
+    index_dim: bool | None = None,
 ) -> Database:
     """A two-table random database, identical for every engine mode.
 
     ``workers=None`` defers to the environment (the CI leg that sets
     ``REPRO_WORKERS=4`` runs this whole file through the pool); the
     explicit worker-matrix tests below pin ``workers`` so their serial
-    reference stays serial regardless of environment.
+    reference stays serial regardless of environment.  ``index_dim``
+    forces the join access path: ``False`` guarantees hash joins (the
+    parallel probe stage), ``True`` index-nested-loop, ``None`` the
+    seed's coin flip.
     """
     rng = random.Random(seed)
-    db = Database(block_size=block_size, workers=workers)
+    db = Database(block_size=block_size, workers=workers, parallel_backend=backend)
     fact = db.create_table(
         "fact",
         Schema.of(
@@ -289,6 +296,176 @@ def test_parallel_mid_query_exception_propagates(workers):
             db.execute(bad)
         ok = QuerySpec(base_alias="F", base_table="fact")
         assert len(db.execute(ok)) > 0
+
+
+# ----------------------------------------------------------------------
+# Forced hash-join plans: the parallel probe + partial-aggregation path
+# ----------------------------------------------------------------------
+
+AGG_FUNCS = ("min", "max", "sum", "avg", "count")
+
+
+def hash_join_specs(seed: int) -> list[QuerySpec]:
+    """Join-bearing specs that always plan a HashJoin probe stage (the
+    driving database is built with ``index_dim=False``): one SPJ
+    projection plus every aggregate function, grouped and scalar."""
+    rng = random.Random(seed * 31 + 7)
+    join = (JoinSpec("D", "dim", "F.k", "k"),)
+    cutoff = round(rng.uniform(20, 80), 3)
+    specs = [
+        QuerySpec(
+            base_alias="F",
+            base_table="fact",
+            joins=join,
+            filters=(col("F.val") > lit(cutoff), col("D.cat") != lit(2)),
+            projection=("F.id", "D.w", "F.val"),
+        ),
+    ]
+    for func in AGG_FUNCS:
+        specs.append(
+            QuerySpec(
+                base_alias="F",
+                base_table="fact",
+                joins=join,
+                filters=(col("F.grp") < lit(4),),
+                aggregate=AggregateSpec(
+                    func=func, value=col("F.val"), group_by=("D.cat",)
+                ),
+            )
+        )
+    specs.append(
+        QuerySpec(
+            base_alias="F",
+            base_table="fact",
+            joins=join,
+            aggregate=AggregateSpec(func="sum", value=col("D.w")),
+        )
+    )
+    return specs
+
+
+def run_hash_join_queries(
+    block_size: int | None,
+    seed: int,
+    workers: int | None = None,
+    backend: str | None = None,
+):
+    with build_db(
+        block_size, seed, workers, backend=backend, index_dim=False
+    ) as db:
+        results = [db.execute(spec).rows for spec in hash_join_specs(seed)]
+        return results, db.counter.snapshot()
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_parallel_hash_join_agg_identical_to_serial(block_size, workers):
+    """The (block_size x workers) matrix over forced hash-join plans:
+    build-once/probe-parallel joins and partitioned partial aggregation
+    must produce byte-identical rows and byte-identical cost tables."""
+    for seed in SEEDS:
+        ref_rows, ref_charges = run_hash_join_queries(block_size, seed, workers=0)
+        rows, charges = run_hash_join_queries(
+            block_size, seed, workers=workers
+        )
+        assert rows == ref_rows, (
+            f"rows diverge at block_size={block_size} workers={workers}"
+        )
+        assert charges == ref_charges, (
+            f"simulated charges diverge at block_size={block_size} "
+            f"workers={workers}"
+        )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_process_backend_hash_join_agg_identical_to_serial(workers):
+    """Same plans through the process pool (spooled hash-table snapshot):
+    cost tables stay byte-identical at every worker count."""
+    seed, block_size = SEEDS[0], 64
+    ref_rows, ref_charges = run_hash_join_queries(block_size, seed, workers=0)
+    rows, charges = run_hash_join_queries(
+        block_size, seed, workers=workers, backend="process"
+    )
+    assert rows == ref_rows
+    assert charges == ref_charges
+
+
+def run_ivm_join_with_workers(block_size, seed, workers, backend=None):
+    """Maintain a join-bearing MIN view (hash join forced) so the delta
+    substituted probe path runs through the worker pool."""
+    db = build_db(block_size, seed, workers, backend=backend, index_dim=False)
+    try:
+        spec = QuerySpec(
+            base_alias="F",
+            base_table="fact",
+            joins=(JoinSpec("D", "dim", "F.k", "k"),),
+            filters=(col("D.cat") != lit(2),),
+            aggregate=AggregateSpec(
+                func="min", value=col("F.val"), group_by=("F.grp",)
+            ),
+        )
+        view = MaterializedView("v", db, spec)
+        rng = random.Random(seed * 37 + 3)
+        trace = []
+        for __ in range(8):
+            _mutate(rng, db, rng.randint(0, 4))
+            delta = view.deltas["F"]
+            delta.pull()
+            k = rng.randint(0, delta.size)
+            if k:
+                apply_batch(view, "F", k)
+            trace.append(sorted(view.contents().items(), key=repr))
+        full_refresh(view)
+        return trace, view.contents(), view.recompute(), db.counter.snapshot()
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_view_maintenance_with_join_identical_to_serial(workers):
+    """IVM maintenance trace through the hash-join delta path: identical
+    contents at every batch boundary and identical final charges."""
+    seed, block_size = SEEDS[1], 32
+    reference = run_ivm_join_with_workers(block_size, seed, workers=0)
+    assert reference[1] == reference[2]  # maintained == recompute
+    assert run_ivm_join_with_workers(block_size, seed, workers) == reference
+
+
+def test_process_backend_view_maintenance_with_join_identical():
+    seed, block_size = SEEDS[1], 32
+    reference = run_ivm_join_with_workers(block_size, seed, workers=0)
+    result = run_ivm_join_with_workers(
+        block_size, seed, workers=2, backend="process"
+    )
+    assert result == reference
+
+
+@pytest.mark.parametrize(
+    "workers,backend",
+    [(w, "thread") for w in WORKER_COUNTS] + [(2, "process")],
+)
+def test_parallel_mid_probe_exception_propagates(workers, backend):
+    """A poisoned predicate *above* the hash-join probe (it references a
+    build-side column, so it runs post-join inside worker tasks) must
+    surface to the caller, and the pool must stay usable afterwards."""
+    with build_db(
+        64, seed=SEEDS[0], workers=workers, backend=backend, index_dim=False
+    ) as db:
+        bad = QuerySpec(
+            base_alias="F",
+            base_table="fact",
+            joins=(JoinSpec("D", "dim", "F.k", "k"),),
+            filters=((col("D.w") / lit(0.0)) > lit(1.0),),
+        )
+        with pytest.raises(ZeroDivisionError):
+            db.execute(bad)
+        ok = QuerySpec(
+            base_alias="F",
+            base_table="fact",
+            joins=(JoinSpec("D", "dim", "F.k", "k"),),
+            aggregate=AggregateSpec(func="count", value=col("F.id")),
+        )
+        assert db.execute(ok).rows[0][0] > 0
 
 
 def test_operator_level_equivalence():
