@@ -13,6 +13,9 @@ written with ``{name, params, metrics, wall_time_s}``:
 * ``metrics`` -- the :mod:`repro.obs` registry snapshot of the run (the
   ``conftest`` harness installs a recorder around every benchmark), so
   node expansions, rows joined, batches flushed etc. are diffable;
+* ``profile`` -- per-operator-kind attribution totals over every query
+  the run profiled (:func:`repro.obs.attrib.aggregate_profiles`);
+  ``report_trajectory.py`` renders these as the top-operators table;
 * ``wall_time_s`` -- the harness-measured wall time of the benchmarked
   callable.
 
@@ -54,6 +57,7 @@ def report(
         "name": name,
         "params": dict(params or {}),
         "metrics": LAST_RUN.pop("metrics", {}),
+        "profile": LAST_RUN.pop("profile", {}),
         "wall_time_s": LAST_RUN.pop("wall_time_s", None),
     }
     json_path = RESULTS_DIR / f"{name}.json"

@@ -19,17 +19,21 @@ def run_once(benchmark):
     return its result.
 
     The run executes under a fresh :mod:`repro.obs` recorder (metrics
-    only -- no span buffering), and its wall time plus metrics snapshot
-    are staged in ``benchmarks._report.LAST_RUN`` for the benchmark's
+    only -- no span buffering) plus a query-profile sink, and its wall
+    time, metrics snapshot, and per-operator profile aggregate are staged
+    in ``benchmarks._report.LAST_RUN`` for the benchmark's
     ``report(...)`` call to fold into ``results/<name>.json``.
     """
 
     def runner(fn, *args, **kwargs):
         from benchmarks import _report
         from repro import obs
+        from repro.obs import attrib
 
         recorder = obs.Recorder(trace=False)
         obs.install(recorder)
+        profiles: list[dict] = []
+        previous_sink = attrib.set_profile_sink(profiles.append)
         start = time.perf_counter()
         try:
             result = benchmark.pedantic(
@@ -37,10 +41,12 @@ def run_once(benchmark):
             )
         finally:
             obs.install(None)
+            attrib.set_profile_sink(previous_sink)
         _report.LAST_RUN["wall_time_s"] = round(
             time.perf_counter() - start, 4
         )
         _report.LAST_RUN["metrics"] = recorder.registry.snapshot()
+        _report.LAST_RUN["profile"] = attrib.aggregate_profiles(profiles)
         return result
 
     return runner

@@ -8,6 +8,9 @@ one markdown (and optionally HTML) dashboard:
 * a **key-metric table** (planner expansions, engine row volume, block
   fill, IVM flushes, SLO breaches) so a wall-time swing can be traced to
   the work volume that moved;
+* a **top-operators table** folding every benchmark's per-operator
+  ``profile`` section (rows, simulated and wall cost per operator kind)
+  -- which plan operators the whole suite actually spends on;
 * per-benchmark parameter lines for context.
 
 CI runs it in the benchmark-smoke job and uploads the dashboard as a
@@ -141,6 +144,42 @@ def build_dashboard(results: list[dict]) -> str:
             ]
         )
     lines += _markdown_table(headers, metric_rows)
+
+    operators: dict[str, dict[str, float]] = {}
+    profiled_queries = 0
+    for result in results:
+        profile = result.get("profile") or {}
+        profiled_queries += profile.get("queries", 0)
+        for kind, entry in (profile.get("operators") or {}).items():
+            totals = operators.setdefault(
+                kind, {"nodes": 0, "rows_out": 0, "sim_ms": 0.0, "wall_ms": 0.0}
+            )
+            for key in totals:
+                totals[key] += entry.get(key, 0)
+    if operators:
+        lines += [
+            "",
+            "## Top operators",
+            "",
+            f"Per-operator attribution folded over {profiled_queries:,} "
+            "profiled queries (see `profile` in each result JSON).",
+            "",
+        ]
+        op_rows = [
+            [
+                kind,
+                _fmt(int(totals["nodes"])),
+                _fmt(int(totals["rows_out"])),
+                _fmt(totals["sim_ms"]),
+                _fmt(totals["wall_ms"]),
+            ]
+            for kind, totals in sorted(
+                operators.items(), key=lambda kv: -kv[1]["sim_ms"]
+            )
+        ]
+        lines += _markdown_table(
+            ["operator", "nodes", "rows out", "sim ms", "wall ms"], op_rows
+        )
 
     total_wall = sum(
         float(r["wall_time_s"])

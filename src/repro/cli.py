@@ -19,6 +19,11 @@ Commands
     Run a SQL query against a freshly loaded TPC-R database; ``--explain``
     prints the physical plan instead of executing.
 
+``explain``
+    Print the physical plan of a SQL query; ``--analyze`` executes it and
+    renders the per-operator EXPLAIN ANALYZE tree (rows, blocks,
+    simulated charge breakdown, wall time, worker spread).
+
 Observability (any subcommand)
 ------------------------------
 
@@ -42,6 +47,11 @@ Observability (any subcommand)
     ring buffer (``--flight-interval-ms`` apart) and dump it as JSONL on
     exit -- backlog-vs-time curves without bespoke experiment code.
     Implies ``--metrics``.
+
+``--profile FILE``
+    Install a global query-profile sink for the run: every query any
+    Database executes is attributed per operator and appended to FILE as
+    JSONL (one profile dict per query).  Independent of ``--metrics``.
 
 Execution (any subcommand)
 --------------------------
@@ -131,6 +141,15 @@ def _obs_flags() -> argparse.ArgumentParser:
         help="flight-recorder sampling period in milliseconds (default 50)",
     )
     parent.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help=(
+            "profile every query the run executes and append the "
+            "per-operator attribution trees to FILE as JSONL"
+        ),
+    )
+    parent.add_argument(
         "--workers",
         metavar="N",
         type=int,
@@ -171,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         serve_metrics=None,
         flight_recorder=None,
         flight_interval_ms=50.0,
+        profile=None,
         workers=None,
         parallel_backend=None,
     )
@@ -230,6 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-rows", type=int, default=20, help="truncate printed output"
     )
 
+    explain = sub.add_parser(
+        "explain",
+        help=(
+            "print a SQL query's physical plan; --analyze executes it "
+            "and renders the per-operator EXPLAIN ANALYZE tree"
+        ),
+        parents=[obs_flags],
+    )
+    explain.add_argument("query", help="the SELECT statement")
+    explain.add_argument("--scale", type=float, default=0.01)
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help=(
+            "execute the query and annotate every operator with rows, "
+            "blocks, simulated charges, wall time, and worker spread"
+        ),
+    )
+
     timeline = sub.add_parser(
         "timeline",
         help=(
@@ -260,8 +299,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "calibrate": _run_calibrate,
         "generate": _run_generate,
         "sql": _run_sql,
+        "explain": _run_explain,
         "timeline": _run_timeline,
     }[args.command]
+    if args.profile:
+        handler = _with_profile_sink(handler, args.profile)
     observed = (
         args.trace
         or args.metrics
@@ -288,6 +330,46 @@ def main(argv: Sequence[str] | None = None) -> int:
     finally:
         parallel.set_default_workers(None)
         parallel.set_default_backend(None)
+
+
+def _with_profile_sink(handler, path):
+    """Wrap a subcommand handler with the global query-profile sink.
+
+    Every ``Database.execute`` during the run profiles itself; the
+    profile dicts stream to ``path`` as JSONL.  The previous sink (none,
+    normally) is restored afterwards so embedding callers see no leakage.
+    """
+
+    def wrapped(args) -> int:
+        import json
+
+        from repro.obs import attrib
+
+        try:
+            # Fail fast, same contract as --trace/--flight-recorder.
+            out = open(path, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write {path!r}: {exc}", file=sys.stderr)
+            return 2
+        count = 0
+
+        def sink(profile: dict) -> None:
+            nonlocal count
+            out.write(json.dumps(profile, sort_keys=True) + "\n")
+            count += 1
+
+        previous = attrib.set_profile_sink(sink)
+        try:
+            return handler(args)
+        finally:
+            attrib.set_profile_sink(previous)
+            out.close()
+            print(
+                f"[obs] wrote {count} query profiles to {path}",
+                file=sys.stderr,
+            )
+
+    return wrapped
 
 
 def _run_observed(handler, args) -> int:
@@ -432,15 +514,15 @@ def _run_generate(args) -> int:
     return 0
 
 
-def _run_sql(args) -> int:
+def _load_sql_database(scale: float):
+    """A fresh TPC-R database with the standard key indexes, for ad-hoc SQL."""
     from repro.engine.database import Database
-    from repro.sql import SqlError, parse_query
     from repro.tpcr.gen import load_tpcr
 
     db = Database()
     load_tpcr(
         db,
-        scale=args.scale,
+        scale=scale,
         tables=(
             "region", "nation", "supplier", "partsupp", "part",
         ),
@@ -449,6 +531,13 @@ def _run_sql(args) -> int:
     db.table("nation").create_index("nationkey")
     db.table("region").create_index("regionkey")
     db.table("part").create_index("partkey")
+    return db
+
+
+def _run_sql(args) -> int:
+    from repro.sql import SqlError, parse_query
+
+    db = _load_sql_database(args.scale)
     try:
         spec = parse_query(args.query)
     except SqlError as exc:
@@ -469,6 +558,19 @@ def _run_sql(args) -> int:
         f"\n{len(result.rows)} row(s); simulated cost "
         f"{window.elapsed_ms:.2f} ms"
     )
+    return 0
+
+
+def _run_explain(args) -> int:
+    from repro.sql import SqlError, parse_query
+
+    db = _load_sql_database(args.scale)
+    try:
+        spec = parse_query(args.query)
+    except SqlError as exc:
+        print(f"SQL error: {exc}", file=sys.stderr)
+        return 1
+    print(db.explain(spec, analyze=args.analyze))
     return 0
 
 

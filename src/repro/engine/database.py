@@ -20,10 +20,12 @@ asymmetric delta-processing cost functions the paper exploits.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Mapping, Sequence
 
 from repro import obs
+from repro.obs import attrib
 
 #: Blocked-execution fill ratio below which a query is flagged: the
 #: result cardinality is so far under ``block_size`` that most of each
@@ -126,6 +128,7 @@ class Database:
         spec: QuerySpec,
         snapshot_lsns: Mapping[str, int] | None = None,
         substitutions: Mapping[str, Sequence[tuple]] | None = None,
+        profile: bool | None = None,
     ) -> QueryResult:
         """Run a query and materialize its result.
 
@@ -143,30 +146,93 @@ class Database:
             entirely (rows must match the table's schema width).  This is
             how maintenance evaluates ``Q`` with a delta batch substituted
             for a base table.
+        profile:
+            ``True`` attaches a per-operator attribution tree to the
+            result as :attr:`QueryResult.profile` (requires blocked
+            execution).  ``None`` (the default) profiles only while a
+            global profile sink is installed
+            (:func:`repro.obs.attrib.set_profile_sink`); ``False`` never
+            profiles.  Profiling changes **no** simulated charges.
         """
         snapshot_lsns = snapshot_lsns or {}
         substitutions = substitutions or {}
+        prof = None
+        if profile or (profile is None and attrib.sink_active()):
+            if self.block_size is None:
+                if profile:
+                    raise ValueError(
+                        "query profiling requires blocked execution "
+                        "(block_size is None)"
+                    )
+                # Sink-driven profiling silently skips row-mode databases:
+                # the per-row paths carry no attribution hooks.
+            else:
+                view, round_ = attrib.current_maintenance()
+                prof = attrib.QueryProfile(
+                    self.counter.model,
+                    query=self._describe(spec),
+                    view=view,
+                    round=round_,
+                )
         recorder = obs.get_recorder()
-        if recorder is None:
+        if recorder is None and prof is None:
             return self._execute(spec, snapshot_lsns, substitutions)
-        sim_start = self.counter.elapsed_ms()
-        with obs.trace("engine.execute", base=spec.base_table) as span:
-            result = self._execute(spec, snapshot_lsns, substitutions)
-            span.set(rows_out=len(result.rows))
-        recorder.counter("engine.queries")
-        recorder.counter("engine.rows_out", len(result.rows))
-        recorder.observe(
-            "engine.execute.sim_ms", self.counter.elapsed_ms() - sim_start
-        )
+        wall_start = time.perf_counter()
+        if recorder is None:
+            result = self._execute(spec, snapshot_lsns, substitutions, prof)
+        else:
+            sim_start = self.counter.elapsed_ms()
+            with obs.trace("engine.execute", base=spec.base_table) as span:
+                result = self._execute(
+                    spec, snapshot_lsns, substitutions, prof
+                )
+                span.set(rows_out=len(result.rows))
+            recorder.counter("engine.queries")
+            recorder.counter("engine.rows_out", len(result.rows))
+            recorder.observe(
+                "engine.execute.sim_ms", self.counter.elapsed_ms() - sim_start
+            )
+        if prof is not None:
+            prof.finish(
+                rows_out=len(result.rows),
+                wall_ms=(time.perf_counter() - wall_start) * 1e3,
+            )
+            result.profile = prof
+            attrib.emit(prof)
         return result
+
+    @staticmethod
+    def _describe(spec: QuerySpec) -> str:
+        """A short human label for a query (profile headers)."""
+        label = spec.base_table
+        for join in spec.joins:
+            label += f" ⋈ {join.table}"
+        if spec.aggregate is not None:
+            label += f" → {spec.aggregate.func.upper()}"
+        return label
 
     def _execute(
         self,
         spec: QuerySpec,
         snapshot_lsns: Mapping[str, int],
         substitutions: Mapping[str, Sequence[tuple]],
+        prof: "attrib.QueryProfile | None" = None,
+    ) -> QueryResult:
+        if prof is None:
+            return self._execute_plan(spec, snapshot_lsns, substitutions, None)
+        with attrib.capturing(prof):
+            return self._execute_plan(spec, snapshot_lsns, substitutions, prof)
+
+    def _execute_plan(
+        self,
+        spec: QuerySpec,
+        snapshot_lsns: Mapping[str, int],
+        substitutions: Mapping[str, Sequence[tuple]],
+        prof: "attrib.QueryProfile | None",
     ) -> QueryResult:
         self.counter.charge("startups")
+        if prof is not None:
+            prof.root.add("startups", 1)
 
         plan = self._source(spec, spec.base_alias, spec.base_table,
                             snapshot_lsns, substitutions)
@@ -214,6 +280,9 @@ class Database:
         elif spec.projection is not None:
             plan = Project(plan, spec.projection)
 
+        if prof is not None:
+            attrib.attach_to_plan(plan, prof)
+
         columns = tuple(
             sorted(plan.layout, key=plan.layout.__getitem__)
         )
@@ -221,6 +290,8 @@ class Database:
         if spec.distinct:
             # Order-preserving dedup; one hash operation per input row.
             self.counter.charge("hash_probes", len(rows))
+            if prof is not None:
+                prof.root.add("hash_probes", len(rows))
             rows = list(dict.fromkeys(rows))
         if spec.order_by:
             rows = self._apply_order(rows, spec.order_by, plan.layout)
@@ -257,8 +328,12 @@ class Database:
                     blocks = self._parallel_executor().execute(
                         chain, self.block_size, self.counter
                     )
-                except parallel_mod.ParallelUnsupported:
+                except parallel_mod.ParallelUnsupported as exc:
+                    # Tag the fallback with why: each reason gets its own
+                    # dotted counter so the summary table (and /metrics)
+                    # breaks fallbacks down by cause.
                     obs.counter("engine.parallel.fallback")
+                    obs.counter(f"engine.parallel.fallback.{exc.reason}")
         if blocks is None:
             blocks = plan.blocks(self.block_size)
         rows: list[tuple] = []
@@ -313,9 +388,12 @@ class Database:
     def _apply_order(self, rows, order_by, layout):
         """Sort the final rows by the ORDER BY keys (stable, last key
         applied first), charging one sort item per row per key."""
+        prof = attrib.active_profile()
         for order in reversed(order_by):
             pos = resolve_column(order.column, layout)
             self.counter.charge("sort_items", len(rows))
+            if prof is not None:
+                prof.root.add("sort_items", len(rows))
             rows = sorted(
                 rows, key=lambda row: row[pos], reverse=order.descending
             )
@@ -329,13 +407,29 @@ class Database:
         self,
         spec: QuerySpec,
         substitutions: Mapping[str, Sequence[tuple]] | None = None,
+        analyze: bool = False,
+        snapshot_lsns: Mapping[str, int] | None = None,
     ) -> str:
         """A textual description of the physical plan ``execute`` would run.
 
         Mirrors the planner's decisions (access paths, join algorithms,
         filter placement) without executing anything -- in particular
         without paying hash-join build costs.
+
+        With ``analyze=True`` the query is **executed** (charging the
+        counter exactly as a plain ``execute`` would) and the rendered
+        tree carries per-operator actuals: rows and blocks out, wall
+        time, attributed simulated charges, and -- under parallel
+        execution -- the per-worker busy-time spread at the merge.
         """
+        if analyze:
+            result = self.execute(
+                spec,
+                snapshot_lsns=snapshot_lsns,
+                substitutions=substitutions,
+                profile=True,
+            )
+            return attrib.render_profile(result.profile)
         substitutions = substitutions or {}
         lines: list[str] = []
         indent = 0

@@ -18,9 +18,11 @@ All joins concatenate left and right tuples; layouts merge accordingly.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 from repro import obs
+from repro.obs import attrib
 from repro.engine.block import RowBlock
 from repro.engine.errors import SchemaError
 from repro.engine.expr import Expression, resolve_column
@@ -38,7 +40,23 @@ class NestedLoopJoin(Operator):
         self._predicate = (
             predicate.compile(self.layout) if predicate is not None else None
         )
-        self._inner = right.rows()
+        if attrib.active_profile() is not None:
+            # Profiled: the inner materialization is this join's "build"
+            # phase -- capture its charges (made by the inner operator
+            # against the shared counter) as a snapshot delta, so the
+            # profile can attribute them to a join-build node.
+            before = self.counter.snapshot()
+            start = time.perf_counter()
+            self._inner = right.rows()
+            self._build_wall_ms = (time.perf_counter() - start) * 1e3
+            after = self.counter.snapshot()
+            self._build_tally = {
+                f: after[f] - before[f] for f in after if after[f] != before[f]
+            }
+            self._build_rows = len(self._inner)
+            self._build_label = f"Materialize({attrib._label_for(right)[1]})"
+        else:
+            self._inner = right.rows()
 
     def __iter__(self) -> Iterator[tuple]:
         pred = self._predicate
@@ -65,12 +83,15 @@ class NestedLoopJoin(Operator):
         pred = self._predicate
         inner = self._inner
         layout = self.layout
+        prof = self._prof
         rows_in = rows_out = 0
         try:
             for lblock in self.left.blocks(block_size):
                 rows_in += len(lblock)
                 # One compare per (outer, inner) pair, same as row-at-a-time.
                 self.counter.charge("compares", len(lblock) * len(inner))
+                if prof is not None:
+                    prof.add("compares", len(lblock) * len(inner))
                 if pred is None:
                     out = [lrow + rrow for lrow in lblock.rows() for rrow in inner]
                 else:
@@ -147,11 +168,14 @@ class IndexNestedLoopJoin(Operator):
         lookup = self.snapshot.lookup
         right_column = self._right_column
         layout = self.layout
+        prof = self._prof
         probes = rows_out = 0
         try:
             for lblock in self.left.blocks(block_size):
                 probes += len(lblock)
                 self.counter.charge("index_probes", len(lblock))
+                if prof is not None:
+                    prof.add("index_probes", len(lblock))
                 out = [
                     lrow + rrow
                     for lrow, key in zip(lblock.rows(), lblock.column(pos))
@@ -159,6 +183,8 @@ class IndexNestedLoopJoin(Operator):
                 ]
                 if out:
                     self.counter.charge("tuple_cpu", len(out))
+                    if prof is not None:
+                        prof.add("tuple_cpu", len(out))
                     rows_out += len(out)
                     yield RowBlock.from_rows(out, layout)
         finally:
@@ -238,6 +264,10 @@ class HashJoin(Operator):
         self._table: dict = {}
         build_rows = 0
         table = self._table
+        profiled = attrib.active_profile() is not None
+        if profiled:
+            before = self.counter.snapshot()
+            start = time.perf_counter()
         if block_size is None:
             for rrow in right:
                 build_rows += 1
@@ -251,6 +281,17 @@ class HashJoin(Operator):
                 self.counter.charge("hash_builds", len(rblock))
                 for key, rrow in zip(rblock.column(right_pos), rblock.rows()):
                     table.setdefault(key, []).append(rrow)
+        if profiled:
+            # The snapshot delta covers the hash_builds above plus the
+            # inner child's own scan charges -- the full setup cost ``b``
+            # attributed to one join-build node.
+            self._build_wall_ms = (time.perf_counter() - start) * 1e3
+            after = self.counter.snapshot()
+            self._build_tally = {
+                f: after[f] - before[f] for f in after if after[f] != before[f]
+            }
+            self._build_rows = build_rows
+            self._build_label = f"Build({attrib._label_for(right)[1]})"
         # The build is the setup cost ``b`` of the paper's cost model;
         # surfacing it separately from probe-side output is what lets a
         # trace show where a batch's time actually went.
@@ -279,14 +320,19 @@ class HashJoin(Operator):
         pos = self._left_pos
         table = self._table
         layout = self.layout
+        prof = self._prof
         probes = rows_out = 0
         try:
             for lblock in self.left.blocks(block_size):
                 probes += len(lblock)
                 self.counter.charge("hash_probes", len(lblock))
+                if prof is not None:
+                    prof.add("hash_probes", len(lblock))
                 joined = probe_block(lblock, pos, table, layout)
                 if joined is not None:
                     self.counter.charge("tuple_cpu", len(joined))
+                    if prof is not None:
+                        prof.add("tuple_cpu", len(joined))
                     rows_out += len(joined)
                     yield joined
         finally:

@@ -32,6 +32,11 @@ class Operator:
 
     layout: Mapping[str, int]
     counter: OperationCounter
+    #: Attribution node (:class:`repro.obs.attrib.ProfileNode`) set by
+    #: ``attrib.attach_to_plan`` when the query is profiled; None (one
+    #: attribute check per charge site) otherwise.  Attribution mirrors
+    #: charges already made against ``counter`` -- it never adds any.
+    _prof = None
 
     def __iter__(self) -> Iterator[tuple]:
         raise NotImplementedError
@@ -79,6 +84,8 @@ class SeqScan(Operator):
     def _charge_scan_setup(self) -> int:
         rows = self.snapshot.count()
         self.counter.charge_pages(rows)
+        if self._prof is not None and rows:
+            self._prof.add("page_reads", -(-rows // ROWS_PER_PAGE))
         recorder = obs.get_recorder()
         if recorder is not None:
             recorder.counter("engine.scan.scans")
@@ -97,8 +104,11 @@ class SeqScan(Operator):
     def blocks(self, block_size: int) -> Iterator[RowBlock]:
         self._charge_scan_setup()
         charge = self.counter.charge
+        prof = self._prof
         for block in iter_blocks(self.snapshot.row_list(), self.layout, block_size):
             charge("tuple_cpu", len(block))
+            if prof is not None:
+                prof.add("tuple_cpu", len(block))
             yield block
 
 
@@ -137,8 +147,11 @@ class RowSource(Operator):
 
     def blocks(self, block_size: int) -> Iterator[RowBlock]:
         charge = self.counter.charge
+        prof = self._prof
         for block in iter_blocks(self._rows, self.layout, block_size):
             charge("tuple_cpu", len(block))
+            if prof is not None:
+                prof.add("tuple_cpu", len(block))
             yield block
 
     def __len__(self) -> int:
@@ -168,8 +181,11 @@ class Filter(Operator):
     def blocks(self, block_size: int) -> Iterator[RowBlock]:
         block_fn = self._block_fn
         charge = self.counter.charge
+        prof = self._prof
         for block in self.child.blocks(block_size):
             charge("compares", len(block))
+            if prof is not None:
+                prof.add("compares", len(block))
             flags = block_fn(block)
             if all(flags):
                 yield block  # nothing filtered: pass through zero-copy
@@ -201,8 +217,11 @@ class Project(Operator):
     def blocks(self, block_size: int) -> Iterator[RowBlock]:
         positions = self._positions
         charge = self.counter.charge
+        prof = self._prof
         for block in self.child.blocks(block_size):
             charge("tuple_cpu", len(block))
+            if prof is not None:
+                prof.add("tuple_cpu", len(block))
             yield RowBlock.from_columns(
                 [block.column(p) for p in positions],
                 self.layout,

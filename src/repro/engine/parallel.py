@@ -127,8 +127,15 @@ class ParallelUnsupported(RuntimeError):
     Raised from :meth:`ParallelBlockExecutor.execute` *before any cost is
     charged*, so :meth:`Database._pull` can fall back to the serial
     blocked pipeline (bumping ``engine.parallel.fallback``) with no
-    double counting.
+    double counting.  ``reason`` is a short dotted-name-safe tag naming
+    the cause; the database surfaces it as
+    ``engine.parallel.fallback.<reason>`` so fallbacks are diagnosable
+    from the metrics summary alone.
     """
+
+    def __init__(self, message: str, reason: str = "unsupported"):
+        super().__init__(message)
+        self.reason = reason
 
 
 # ----------------------------------------------------------------------
@@ -308,6 +315,7 @@ def _apply_stages(
     compiled: Sequence[_CompiledStage],
     tally: dict[str, int],
     obs_counts: dict[str, int],
+    stage_stats: list | None = None,
 ) -> RowBlock | None:
     """Run a block through compiled stages, mirroring the serial pipeline.
 
@@ -319,24 +327,33 @@ def _apply_stages(
     downstream).  Per-operator obs counts accumulate in ``obs_counts``
     for replay at the merge, so metric totals equal serial execution on
     both backends.
+
+    ``stage_stats``, when a list is supplied (profiled runs only),
+    receives one ``(stage_index, rows_in, rows_out)`` triple per stage
+    the block reached.  The coordinator reconstructs each stage's exact
+    charges from these row counts at the merge -- workers never touch
+    profile state.
     """
-    for kind, spec, out_layout in compiled:
+    for index, (kind, spec, out_layout) in enumerate(compiled):
+        rows_in = len(block)
         if kind == "filter":
-            tally["compares"] = tally.get("compares", 0) + len(block)
+            tally["compares"] = tally.get("compares", 0) + rows_in
             flags = spec(block)
             if not all(flags):
                 keep = [i for i, flag in enumerate(flags) if flag]
                 if not keep:
+                    if stage_stats is not None:
+                        stage_stats.append((index, rows_in, 0))
                     return None
                 block = block.take(keep)
         elif kind == "project":
-            tally["tuple_cpu"] = tally.get("tuple_cpu", 0) + len(block)
+            tally["tuple_cpu"] = tally.get("tuple_cpu", 0) + rows_in
             block = RowBlock.from_columns(
                 [block.column(p) for p in spec], out_layout, length=len(block)
             )
         else:
             pos, table = spec
-            probes = len(block)
+            probes = rows_in
             tally["hash_probes"] = tally.get("hash_probes", 0) + probes
             obs_counts["engine.join.hash.probes"] = (
                 obs_counts.get("engine.join.hash.probes", 0) + probes
@@ -346,6 +363,8 @@ def _apply_stages(
             )
             joined = probe_block(block, pos, table, out_layout)
             if joined is None:
+                if stage_stats is not None:
+                    stage_stats.append((index, rows_in, 0))
                 return None
             rows_out = len(joined)
             tally["tuple_cpu"] = tally.get("tuple_cpu", 0) + rows_out
@@ -356,29 +375,47 @@ def _apply_stages(
             ):
                 obs_counts[name] = obs_counts.get(name, 0) + rows_out
             block = joined
+        if stage_stats is not None:
+            stage_stats.append((index, rows_in, len(block)))
     return block
 
 
+def _worker_id() -> str:
+    """A stable label for the executing worker (thread name or pid)."""
+    name = threading.current_thread().name
+    if name == "MainThread":  # a process-pool worker's main thread
+        return f"pid-{os.getpid()}"
+    return name
+
+
 def _thread_task(
-    block: RowBlock, compiled: Sequence[_CompiledStage]
-) -> tuple[RowBlock | None, dict[str, int], dict[str, int], float]:
+    block: RowBlock,
+    compiled: Sequence[_CompiledStage],
+    want_stats: bool = False,
+) -> tuple[RowBlock | None, dict[str, int], dict[str, int], float, dict | None]:
     """One thread-backend task: kernels only, charges to a local tally."""
     start = time.perf_counter()
     tally = {"tuple_cpu": len(block)}  # the source stage's per-block CPU
     obs_counts: dict[str, int] = {}
-    out = _apply_stages(block, compiled, tally, obs_counts)
+    stats = None
+    if want_stats:
+        stats = {"worker": _worker_id(), "rows_in": len(block), "stages": []}
+        out = _apply_stages(block, compiled, tally, obs_counts, stats["stages"])
+    else:
+        out = _apply_stages(block, compiled, tally, obs_counts)
     busy_ms = (time.perf_counter() - start) * 1e3
     # Lands in the run's registry because the submitter wrapped this task
     # with Recorder.wrap (obs.install_in_thread); no-op otherwise.
     obs.observe("engine.parallel.worker_busy_ms", busy_ms)
-    return out, tally, obs_counts, busy_ms
+    return out, tally, obs_counts, busy_ms, stats
 
 
 def _thread_agg_task(
     block: RowBlock,
     compiled: Sequence[_CompiledStage],
     agg_compiled: tuple,
-) -> tuple[dict | None, dict[str, int], dict[str, int], float]:
+    want_stats: bool = False,
+) -> tuple[dict | None, dict[str, int], dict[str, int], float, dict | None]:
     """Phase-1 aggregation task: run the stages, then bucket by group key.
 
     Folding happens in phase 2 (the partition fold tasks); here the
@@ -387,14 +424,19 @@ def _thread_agg_task(
     start = time.perf_counter()
     tally = {"tuple_cpu": len(block)}
     obs_counts: dict[str, int] = {}
-    out = _apply_stages(block, compiled, tally, obs_counts)
+    stats = None
+    if want_stats:
+        stats = {"worker": _worker_id(), "rows_in": len(block), "stages": []}
+        out = _apply_stages(block, compiled, tally, obs_counts, stats["stages"])
+    else:
+        out = _apply_stages(block, compiled, tally, obs_counts)
     buckets = None
     if out is not None:
         group_positions, value_block_fn = agg_compiled
         buckets = bucket_block(out, group_positions, value_block_fn)
     busy_ms = (time.perf_counter() - start) * 1e3
     obs.observe("engine.parallel.worker_busy_ms", busy_ms)
-    return buckets, tally, obs_counts, busy_ms
+    return buckets, tally, obs_counts, busy_ms, stats
 
 
 #: Worker-process memo of spooled hash-table snapshots, keyed by spool
@@ -418,14 +460,14 @@ def _load_spool(spool: tuple[str, str]) -> dict:
 
 def _process_task(
     payload: tuple,
-) -> tuple[object, dict[str, int], dict[str, int], float]:
+) -> tuple[object, dict[str, int], dict[str, int], float, dict | None]:
     """One process-backend task: compile shipped expression trees, run.
 
     Plain chains return row tuples (the merge rebuilds a
     :class:`RowBlock` with the chain's output layout); aggregation chains
     return phase-1 buckets, which pickle as-is.
     """
-    rows, layout, portable, spool, agg_portable = payload
+    rows, layout, portable, spool, agg_portable, want_stats = payload
     start = time.perf_counter()
     block = RowBlock.from_rows(rows, layout)
     tables = _load_spool(spool) if spool is not None else None
@@ -442,7 +484,12 @@ def _process_task(
             compiled.append(("join", (pos, tables[table_key]), stage_layout))
     tally = {"tuple_cpu": len(block)}
     obs_counts: dict[str, int] = {}
-    out = _apply_stages(block, compiled, tally, obs_counts)
+    stats = None
+    if want_stats:
+        stats = {"worker": _worker_id(), "rows_in": len(block), "stages": []}
+        out = _apply_stages(block, compiled, tally, obs_counts, stats["stages"])
+    else:
+        out = _apply_stages(block, compiled, tally, obs_counts)
     result: object
     if out is None:
         result = None
@@ -453,12 +500,12 @@ def _process_task(
     else:
         result = out.rows()
     busy_ms = (time.perf_counter() - start) * 1e3
-    return result, tally, obs_counts, busy_ms
+    return result, tally, obs_counts, busy_ms, stats
 
 
 def _fold_task(
     payload: tuple,
-) -> tuple[dict, dict[str, int], float]:
+) -> tuple[dict, dict[str, int], float, str]:
     """Phase-2 task: fold one partition's buckets into partial states.
 
     ``payload`` is ``(func, [(group_key, [values in block order]), ...])``.
@@ -477,7 +524,44 @@ def _fold_task(
         folded += len(values)
     busy_ms = (time.perf_counter() - start) * 1e3
     obs.observe("engine.parallel.worker_busy_ms", busy_ms)
-    return states, {"agg_updates": folded}, busy_ms
+    return states, {"agg_updates": folded}, busy_ms, _worker_id()
+
+
+def _fold_stats_into_profile(chain: "ChainPlan", stats: dict, busy_ms: float,
+                             merge_node) -> None:
+    """Fold one task's stage row counts into the plan's profile nodes.
+
+    Runs on the coordinator at the in-order merge (workers never touch
+    profile state).  Each stage's exact charges are reconstructed from
+    its row counts -- the same arithmetic the worker's fused tally used,
+    so per-node attributions sum to exactly the replayed tally: one
+    ``tuple_cpu`` per source row, one ``compares`` per filter input row,
+    one ``tuple_cpu`` per projected row, one ``hash_probes`` per probe
+    input row plus one ``tuple_cpu`` per joined row.
+    """
+    src_node = chain.source._prof
+    rows_in = stats["rows_in"]
+    src_node.add("tuple_cpu", rows_in)
+    src_node.rows_out += rows_in
+    src_node.blocks += 1
+    for index, stage_in, stage_out in stats["stages"]:
+        stage = chain.stages[index]
+        node = stage._prof
+        if node is None:  # pragma: no cover - attach always covers chain
+            continue
+        if type(stage) is Filter:
+            node.add("compares", stage_in)
+        elif type(stage) is Project:
+            node.add("tuple_cpu", stage_in)
+        else:  # HashJoin probe
+            node.add("hash_probes", stage_in)
+            if stage_out:
+                node.add("tuple_cpu", stage_out)
+        node.rows_out += stage_out
+        if stage_out:
+            node.blocks += 1
+    if merge_node is not None:
+        merge_node.add_worker(stats["worker"], busy_ms)
 
 
 def _partition_for_key(key: tuple, partitions: int) -> int:
@@ -585,13 +669,19 @@ class ParallelBlockExecutor:
         for stage in chain.stages:
             if type(stage) not in (Filter, Project, HashJoin):
                 raise ParallelUnsupported(
-                    f"stage {type(stage).__name__} has no parallel kernel"
+                    f"stage {type(stage).__name__} has no parallel kernel",
+                    reason="unsupported_stage",
                 )
         agg = chain.aggregate
         if agg is not None and type(agg) is not Aggregate:
             raise ParallelUnsupported(
-                f"aggregate {type(agg).__name__} has no parallel kernel"
+                f"aggregate {type(agg).__name__} has no parallel kernel",
+                reason="unsupported_aggregate",
             )
+
+        # Profiled query: workers additionally ship per-stage row counts
+        # back for the coordinator to fold into the plan's profile nodes.
+        want_stats = getattr(chain.source, "_prof", None) is not None
 
         if self.backend == "thread":
             compiled = _compile_thread_stages(chain.stages)
@@ -599,7 +689,7 @@ class ParallelBlockExecutor:
                 task: Callable = _thread_task
 
                 def make_args(block: RowBlock) -> tuple:
-                    return (block, compiled)
+                    return (block, compiled, want_stats)
 
             else:
                 task = _thread_agg_task
@@ -608,7 +698,7 @@ class ParallelBlockExecutor:
                 )
 
                 def make_args(block: RowBlock) -> tuple:
-                    return (block, compiled, agg_compiled)
+                    return (block, compiled, agg_compiled, want_stats)
 
             fold: Callable = _fold_task
             recorder = obs.get_recorder()
@@ -635,7 +725,8 @@ class ParallelBlockExecutor:
             )
         except Exception as exc:
             raise ParallelUnsupported(
-                f"plan does not pickle for process workers: {exc}"
+                f"plan does not pickle for process workers: {exc}",
+                reason="unpicklable_plan",
             ) from exc
         spool = None
         if tables:
@@ -645,7 +736,8 @@ class ParallelBlockExecutor:
                 )
             except Exception as exc:
                 raise ParallelUnsupported(
-                    f"hash-table snapshot does not pickle: {exc}"
+                    f"hash-table snapshot does not pickle: {exc}",
+                    reason="unpicklable_snapshot",
                 ) from exc
             try:
                 fd, path = tempfile.mkstemp(
@@ -655,7 +747,8 @@ class ParallelBlockExecutor:
                     fh.write(payload)
             except OSError as exc:
                 raise ParallelUnsupported(
-                    f"cannot spool hash-table snapshot: {exc}"
+                    f"cannot spool hash-table snapshot: {exc}",
+                    reason="spool_failed",
                 ) from exc
             self._spools.add(path)
             obs.observe("engine.parallel.join.snapshot_bytes", len(payload))
@@ -663,7 +756,12 @@ class ParallelBlockExecutor:
         source_layout = dict(chain.source.layout)
 
         def make_args(block: RowBlock) -> tuple:
-            return ((block.rows(), source_layout, portable, spool, agg_portable),)
+            return (
+                (
+                    block.rows(), source_layout, portable, spool,
+                    agg_portable, want_stats,
+                ),
+            )
 
         return _PreparedChain(
             _process_task, make_args, _fold_task,
@@ -726,6 +824,13 @@ class ParallelBlockExecutor:
             source_rows: Sequence[tuple] = source.snapshot.row_list()
         else:
             source_rows = source._rows
+        merge_node = None
+        if getattr(source, "_prof", None) is not None:
+            from repro.obs import attrib
+
+            profile = attrib.active_profile()
+            if profile is not None:
+                merge_node = profile.merge_node()
         pool = self._ensure_pool()
         window = self.workers * SUBMIT_WINDOW_PER_WORKER
         blocks = iter_blocks(source_rows, source.layout, block_size)
@@ -748,11 +853,9 @@ class ParallelBlockExecutor:
                     break
                 future = pending.popleft()
                 wait_start = time.perf_counter()
-                out, tally, obs_counts, busy_ms = future.result()
-                obs.observe(
-                    "engine.parallel.merge_wait_ms",
-                    (time.perf_counter() - wait_start) * 1e3,
-                )
+                out, tally, obs_counts, busy_ms, stats = future.result()
+                wait_ms = (time.perf_counter() - wait_start) * 1e3
+                obs.observe("engine.parallel.merge_wait_ms", wait_ms)
                 if self.backend == "process":
                     # Process workers cannot adopt the parent's recorder;
                     # their busy time rides back with the result.
@@ -763,6 +866,10 @@ class ParallelBlockExecutor:
                 for name, amount in obs_counts.items():
                     if amount:
                         obs.counter(name, amount)
+                if stats is not None:
+                    _fold_stats_into_profile(chain, stats, busy_ms, merge_node)
+                    if merge_node is not None:
+                        merge_node.wall_ms += wait_ms
                 if out is None:
                     continue
                 yield out
@@ -845,14 +952,28 @@ class ParallelBlockExecutor:
                 pool.submit(prepared.fold_task, payload)
                 for payload in payloads
             ]
+            agg_node = agg._prof
+            merge_node = None
+            if agg_node is not None:
+                from repro.obs import attrib
+
+                profile = attrib.active_profile()
+                if profile is not None:
+                    merge_node = profile.merge_node()
             groups: dict[tuple, object] = {}
             for future in fold_futures:
-                states, tally, busy_ms = future.result()
+                states, tally, busy_ms, worker = future.result()
                 if self.backend == "process":
                     obs.observe("engine.parallel.worker_busy_ms", busy_ms)
                 for field_name, count in tally.items():
                     if count:
                         counter.charge(field_name, count)
+                if agg_node is not None:
+                    # The fold's agg_updates are the aggregate operator's
+                    # charges, identical to the serial insert_many total.
+                    agg_node.add_tally(tally)
+                    if merge_node is not None:
+                        merge_node.add_worker(worker, busy_ms)
                 for key, state in states.items():
                     existing = groups.get(key)
                     if existing is None:
@@ -869,6 +990,10 @@ class ParallelBlockExecutor:
                     key + (groups[key].result(),)
                     for key in sorted(groups, key=repr)
                 ]
+            if agg_node is not None:
+                agg_node.rows_out += len(out_rows)
+                if out_rows:
+                    agg_node.blocks += -(-len(out_rows) // block_size)
             yield from iter_blocks(out_rows, agg.layout, block_size)
         finally:
             for future in fold_futures:

@@ -188,6 +188,10 @@ class QueryResult:
 
     rows: list[tuple]
     columns: tuple[str, ...]
+    #: Per-operator attribution tree (:class:`repro.obs.attrib.QueryProfile`)
+    #: when the query ran with ``profile=True`` / an active profile sink;
+    #: None otherwise.
+    profile: "object | None" = None
 
     def scalar(self):
         """The single value of a one-row one-column result."""

@@ -1,0 +1,155 @@
+"""Per-view maintenance ledger: who spent what, when, and on which view.
+
+The maintenance log (:class:`repro.ivm.maintainer.MaintenanceLog`) records
+*decisions* -- arrivals, actions, predicted vs. actual cost.  The ledger
+recorded here answers the complementary accounting question: for each
+view, per maintenance round, where did the simulated cost actually go --
+how much of it was join work (index probes / hash build+probe), how much
+aggregate upkeep, how many modifications were flushed, and what backlog
+was left behind.
+
+Ledgers are always on (like the log): entries are tiny fixed-size records
+appended once per round, so there is nothing to toggle.  Metric export
+(``ivm.view.*``) stays gated on an installed recorder as usual.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.engine.costmodel import CostModel, OperationCounter
+
+#: Counter fields whose weighted cost we attribute to join work.
+JOIN_FIELDS = ("index_probes", "hash_builds", "hash_probes")
+#: Counter fields whose weighted cost we attribute to aggregate upkeep.
+AGG_FIELDS = ("agg_updates", "sort_items")
+
+
+def _weighted_ms(charges: Mapping[str, int], model: CostModel, fields) -> float:
+    total = 0.0
+    for f in fields:
+        count = charges.get(f, 0)
+        if count:
+            total += count * getattr(model, OperationCounter._WEIGHT_BY_FIELD[f])
+    return total
+
+
+@dataclass(frozen=True)
+class RoundEntry:
+    """One maintenance round of one view, fully costed."""
+
+    t: int
+    arrivals: tuple[int, ...]
+    pre_state: tuple[int, ...]
+    action: tuple[int, ...]
+    forced: bool
+    predicted_ms: float
+    sim_ms: float
+    wall_ms: float
+    backlog: int
+    #: Non-zero counter-field deltas charged during this round.
+    charges: dict[str, int]
+
+    @property
+    def mods_applied(self) -> int:
+        return sum(self.action)
+
+    @property
+    def flushes(self) -> int:
+        return sum(1 for k in self.action if k)
+
+
+@dataclass
+class ViewLedger:
+    """Cumulative, per-round maintenance accounting for one view."""
+
+    view: str
+    aliases: tuple[str, ...]
+    entries: list[RoundEntry] = field(default_factory=list)
+
+    @property
+    def metric_id(self) -> str:
+        """View name sanitized for use inside a dotted metric name."""
+        return re.sub(r"[^A-Za-z0-9_-]", "_", self.view)
+
+    def record(self, entry: RoundEntry) -> None:
+        self.entries.append(entry)
+
+    # -- cumulative views ------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        return len(self.entries)
+
+    @property
+    def flushes(self) -> int:
+        return sum(e.flushes for e in self.entries)
+
+    @property
+    def total_mods(self) -> int:
+        return sum(e.mods_applied for e in self.entries)
+
+    @property
+    def total_sim_ms(self) -> float:
+        return sum(e.sim_ms for e in self.entries)
+
+    @property
+    def total_wall_ms(self) -> float:
+        return sum(e.wall_ms for e in self.entries)
+
+    @property
+    def backlog(self) -> int:
+        """Backlog left after the most recent round (0 when no rounds)."""
+        return self.entries[-1].backlog if self.entries else 0
+
+    def charge_totals(self) -> dict[str, int]:
+        """Counter-field deltas summed over all rounds."""
+        totals: dict[str, int] = {}
+        for e in self.entries:
+            for f, count in e.charges.items():
+                totals[f] = totals.get(f, 0) + count
+        return totals
+
+    def join_ms(self, model: CostModel) -> float:
+        """Simulated cost of join work (probes + hash build/probe)."""
+        return _weighted_ms(self.charge_totals(), model, JOIN_FIELDS)
+
+    def agg_ms(self, model: CostModel) -> float:
+        """Simulated cost of aggregate upkeep (updates + recomputes)."""
+        return _weighted_ms(self.charge_totals(), model, AGG_FIELDS)
+
+    def summary(self, model: CostModel) -> dict:
+        """One flat dict per view -- the row behind :func:`ledger_summary`."""
+        return {
+            "view": self.view,
+            "rounds": self.rounds,
+            "flushes": self.flushes,
+            "mods": self.total_mods,
+            "sim_ms": self.total_sim_ms,
+            "wall_ms": self.total_wall_ms,
+            "join_ms": self.join_ms(model),
+            "agg_ms": self.agg_ms(model),
+            "backlog": self.backlog,
+        }
+
+
+def ledger_summary(ledgers: Iterable[ViewLedger], model: CostModel) -> str:
+    """Fixed-width per-view cost table (companion to ``slo_summary``)."""
+    rows = [ledger.summary(model) for ledger in ledgers]
+    width = max([14] + [len(r["view"]) for r in rows])
+    lines = [
+        f"{'view':<{width}s} {'rounds':>7s} {'flushes':>8s} {'mods':>8s} "
+        f"{'sim ms':>10s} {'join ms':>10s} {'agg ms':>10s} {'backlog':>8s}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for r in rows:
+        lines.append(
+            f"{r['view']:<{width}s} {r['rounds']:>7d} {r['flushes']:>8d} "
+            f"{r['mods']:>8d} {r['sim_ms']:>10.3f} {r['join_ms']:>10.3f} "
+            f"{r['agg_ms']:>10.3f} {r['backlog']:>8d}"
+        )
+    if not rows:
+        lines.append("(no views)")
+    return "\n".join(lines)

@@ -23,12 +23,15 @@ their divergence is observable (Figure 5 plots it).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
+from repro.obs import attrib
 from repro.core.costfuncs import CostFunction
 from repro.core.policies import Policy, PolicyError
+from repro.ivm.ledger import RoundEntry, ViewLedger
 from repro.ivm.maintenance import apply_batch, full_refresh
 from repro.ivm.view import MaterializedView
 
@@ -111,6 +114,7 @@ class ViewMaintainer:
         self.verify = verify
         self.policy.reset(self.cost_functions, self.limit)
         self.log = MaintenanceLog(aliases=self.aliases)
+        self.ledger = ViewLedger(view=view.name, aliases=self.aliases)
         self._clock = -1
 
     # ------------------------------------------------------------------
@@ -186,27 +190,65 @@ class ViewMaintainer:
                 f"violates C={self.limit}"
             )
         recorder = obs.get_recorder()
-        with self.view.database.counter.window() as window:
-            for alias, k, f in zip(self.aliases, action, self.cost_functions):
-                if not k:
-                    continue
-                if recorder is None:
-                    apply_batch(self.view, alias, k)
-                    continue
-                # Per-alias flush: record batch size k against both the
-                # model's prediction f_i(k) and the engine-measured cost --
-                # the exact quantity the paper's cost functions model.
-                with self.view.database.counter.window() as flush_window:
-                    with obs.trace(
-                        "ivm.flush", alias=alias, k=k, forced=forced
-                    ) as span:
-                        apply_batch(self.view, alias, k)
-                    span.set(sim_ms=flush_window.elapsed_ms)
-                recorder.counter("ivm.flushes")
-                recorder.observe("ivm.flush.batch_size", k)
-                recorder.observe("ivm.flush.predicted_ms", f(k))
-                recorder.observe("ivm.flush.actual_ms", flush_window.elapsed_ms)
         predicted = self.predicted_refresh_cost(action)
+        counter = self.view.database.counter
+        charges_before = counter.snapshot()
+        wall_start = time.perf_counter()
+        with counter.window() as window:
+            # Any query profile captured while flushing carries the view
+            # name and round, so EXPLAIN ANALYZE output and profile sinks
+            # can attribute maintenance work to its owner.
+            with attrib.maintenance_context(self.view.name, t):
+                for alias, k, f in zip(
+                    self.aliases, action, self.cost_functions
+                ):
+                    if not k:
+                        continue
+                    if recorder is None:
+                        apply_batch(self.view, alias, k)
+                        continue
+                    # Per-alias flush: record batch size k against both the
+                    # model's prediction f_i(k) and the engine-measured cost
+                    # -- the exact quantity the paper's cost functions model.
+                    with counter.window() as flush_window:
+                        with obs.trace(
+                            "ivm.flush", alias=alias, k=k, forced=forced
+                        ) as span:
+                            apply_batch(self.view, alias, k)
+                        span.set(sim_ms=flush_window.elapsed_ms)
+                    recorder.counter("ivm.flushes")
+                    recorder.observe("ivm.flush.batch_size", k)
+                    recorder.observe("ivm.flush.predicted_ms", f(k))
+                    recorder.observe(
+                        "ivm.flush.actual_ms", flush_window.elapsed_ms
+                    )
+        wall_ms = (time.perf_counter() - wall_start) * 1e3
+        charges_after = counter.snapshot()
+        entry = RoundEntry(
+            t=t,
+            arrivals=arrivals,
+            pre_state=pre,
+            action=action,
+            forced=forced,
+            predicted_ms=predicted,
+            sim_ms=window.elapsed_ms,
+            wall_ms=wall_ms,
+            backlog=sum(post),
+            charges={
+                f: charges_after[f] - charges_before[f]
+                for f in charges_after
+                if charges_after[f] != charges_before[f]
+            },
+        )
+        self.ledger.record(entry)
+        if recorder is not None:
+            vid = self.ledger.metric_id
+            recorder.counter(f"ivm.view.{vid}.rounds")
+            recorder.counter(f"ivm.view.{vid}.flushes", entry.flushes)
+            recorder.counter(f"ivm.view.{vid}.mods_applied", entry.mods_applied)
+            recorder.counter(f"ivm.view.{vid}.cost_ms", window.elapsed_ms)
+            recorder.gauge(f"ivm.view.{vid}.backlog", entry.backlog)
+            recorder.observe(f"ivm.view.{vid}.round_ms", window.elapsed_ms)
         self.policy.record_action(t, action, predicted)
         record = StepRecord(
             t=t,

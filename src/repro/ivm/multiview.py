@@ -26,6 +26,8 @@ from repro.core.costfuncs import CostFunction
 from repro.core.policies import Policy
 from repro.engine.database import Database
 from repro.engine.query import QuerySpec
+from repro.ivm.ledger import ViewLedger
+from repro.ivm.ledger import ledger_summary as _render_ledger_summary
 from repro.ivm.maintainer import StepRecord, ViewMaintainer
 from repro.ivm.view import MaterializedView
 
@@ -128,6 +130,25 @@ class MaintenanceCoordinator:
     def iter_maintainers(self) -> Iterator[tuple[str, ViewMaintainer]]:
         """(name, maintainer) pairs."""
         yield from self._maintainers.items()
+
+    def ledgers(self) -> dict[str, ViewLedger]:
+        """Per-view maintenance ledgers, keyed by view name."""
+        return {name: m.ledger for name, m in self._maintainers.items()}
+
+    def ledger_snapshot(self) -> dict[str, dict]:
+        """Per-view cumulative cost summaries (JSON-friendly)."""
+        model = self.database.counter.model
+        return {
+            name: m.ledger.summary(model)
+            for name, m in self._maintainers.items()
+        }
+
+    def ledger_summary(self) -> str:
+        """Fixed-width per-view cost table (companion to ``slo_summary``)."""
+        return _render_ledger_summary(
+            (m.ledger for m in self._maintainers.values()),
+            self.database.counter.model,
+        )
 
     def __repr__(self) -> str:
         return f"MaintenanceCoordinator(views={list(self._maintainers)})"

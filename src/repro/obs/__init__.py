@@ -30,6 +30,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs import attrib
 from repro.obs.export import prometheus_name, render_prometheus
 from repro.obs.metrics import (
     Counter,
@@ -60,6 +61,7 @@ __all__ = [
     "NullSpan",
     "Recorder",
     "Span",
+    "attrib",
     "check_name",
     "counter",
     "gauge",

@@ -1,0 +1,489 @@
+"""Hierarchical attribution: who spent each simulated charge.
+
+The cost model (:mod:`repro.engine.costmodel`) answers *how much* a query
+cost; this module answers *where it went*.  A :class:`QueryProfile` is a
+tree of :class:`ProfileNode` objects mirroring the physical plan --
+scan / filter / project / join-build / join-probe / aggregate / merge --
+each accumulating the simulated charges, row and block counts, and wall
+time attributable to that operator.  For IVM work the profile also
+carries the owning view and maintenance round, so a fleet of views can
+be broken down per view per round (the maintenance ledger in
+:mod:`repro.ivm.ledger` builds on the same counter-delta idea).
+
+Attribution is **observational**: nodes record copies of charges the
+operators already made against the shared
+:class:`~repro.engine.costmodel.OperationCounter`; they never charge
+anything themselves.  The invariant -- checked by the differential test
+suite -- is that a profiled run's cost table is byte-identical to an
+unprofiled run, and that the profile's summed tally equals the counter's
+delta for the query.
+
+Three switches, all off by default:
+
+* ``Database.execute(spec, profile=True)`` / ``Database.explain(spec,
+  analyze=True)`` profile one query;
+* :func:`set_profile_sink` installs a process-global sink -- every query
+  on every Database is profiled and its dict is handed to the sink (the
+  CLI ``--profile FILE`` flag and the benchmark harness use this);
+* when neither is active, the hot path sees a single ``is None`` check
+  per charge site (``Operator._prof``) and nothing else.
+
+The parallel executor participates by shipping per-stage row counts back
+with each worker tally; the single-threaded merge loop folds them into
+the plan's nodes (workers never touch profile state), plus a synthetic
+``merge`` node recording per-worker busy time -- the "worker spread" of
+an EXPLAIN ANALYZE line.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "ProfileNode",
+    "QueryProfile",
+    "active_profile",
+    "capturing",
+    "maintenance_context",
+    "current_maintenance",
+    "set_profile_sink",
+    "sink_active",
+    "emit",
+    "attach_to_plan",
+    "render_profile",
+    "aggregate_profiles",
+]
+
+#: Node kinds, for reference (labels are free-form; kinds are the closed
+#: vocabulary that benchmark aggregation and the top-operators table key on).
+KINDS = (
+    "query",
+    "scan",
+    "filter",
+    "project",
+    "join-build",
+    "join-probe",
+    "aggregate",
+    "merge",
+)
+
+
+class ProfileNode:
+    """One operator's slice of a query profile.
+
+    ``tally`` maps :class:`OperationCounter` field names to counts --
+    the same vocabulary as ``counter.snapshot()`` so profile totals and
+    counter deltas are directly comparable.
+    """
+
+    __slots__ = (
+        "kind",
+        "label",
+        "tally",
+        "rows_out",
+        "blocks",
+        "wall_ms",
+        "children",
+        "workers",
+    )
+
+    def __init__(self, kind: str, label: str):
+        self.kind = kind
+        self.label = label
+        self.tally: dict[str, int] = {}
+        self.rows_out = 0
+        self.blocks = 0
+        self.wall_ms = 0.0
+        self.children: list[ProfileNode] = []
+        #: per-worker spread, only populated on ``merge`` nodes:
+        #: ``{worker_name: {"tasks": n, "busy_ms": x}}``
+        self.workers: dict[str, dict] = {}
+
+    def add(self, field: str, count: int = 1) -> None:
+        """Attribute ``count`` units of one charge field to this node."""
+        self.tally[field] = self.tally.get(field, 0) + count
+
+    def add_tally(self, tally: Mapping[str, int]) -> None:
+        """Attribute a whole charge-field tally to this node."""
+        own = self.tally
+        for field, count in tally.items():
+            if count:
+                own[field] = own.get(field, 0) + count
+
+    def add_worker(self, name: str, busy_ms: float) -> None:
+        """Record one worker task's busy time (merge nodes only)."""
+        entry = self.workers.get(name)
+        if entry is None:
+            self.workers[name] = {"tasks": 1, "busy_ms": busy_ms}
+        else:
+            entry["tasks"] += 1
+            entry["busy_ms"] += busy_ms
+
+    def child(self, kind: str, label: str) -> "ProfileNode":
+        node = ProfileNode(kind, label)
+        self.children.append(node)
+        return node
+
+    def sim_ms(self, model: Any) -> float:
+        """Simulated cost of this node's own tally under ``model``."""
+        from repro.engine.costmodel import OperationCounter
+
+        total = 0.0
+        weights = OperationCounter._WEIGHT_BY_FIELD
+        for field, count in self.tally.items():
+            total += count * getattr(model, weights[field])
+        return total
+
+    def total_tally(self) -> dict[str, int]:
+        """Summed tally over this node and all descendants."""
+        total = dict(self.tally)
+        for child in self.children:
+            for field, count in child.total_tally().items():
+                total[field] = total.get(field, 0) + count
+        return total
+
+    def total_sim_ms(self, model: Any) -> float:
+        return self.sim_ms(model) + sum(
+            c.total_sim_ms(model) for c in self.children
+        )
+
+    def to_dict(self, model: Any = None) -> dict:
+        out: dict[str, Any] = {
+            "op": self.kind,
+            "label": self.label,
+            "rows_out": self.rows_out,
+            "blocks": self.blocks,
+            "wall_ms": self.wall_ms,
+            "tally": dict(self.tally),
+        }
+        if model is not None:
+            out["sim_ms"] = self.sim_ms(model)
+        if self.workers:
+            out["workers"] = {
+                name: dict(entry) for name, entry in self.workers.items()
+            }
+        out["children"] = [c.to_dict(model) for c in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileNode({self.kind!r}, {self.label!r}, "
+            f"rows_out={self.rows_out}, tally={self.tally})"
+        )
+
+
+class QueryProfile:
+    """The full attribution tree of one executed query."""
+
+    def __init__(
+        self,
+        model: Any,
+        query: str = "query",
+        view: str | None = None,
+        round: int | None = None,
+    ):
+        self.model = model
+        self.query = query
+        self.view = view
+        self.round = round
+        self.root = ProfileNode("query", query)
+        self._merge: ProfileNode | None = None
+
+    def merge_node(self) -> ProfileNode:
+        """The (lazily created) parallel-merge node under the root."""
+        if self._merge is None:
+            self._merge = self.root.child("merge", "Merge(in-order)")
+        return self._merge
+
+    def finish(self, rows_out: int, wall_ms: float) -> None:
+        self.root.rows_out = rows_out
+        self.root.wall_ms = wall_ms
+
+    def total_tally(self) -> dict[str, int]:
+        return self.root.total_tally()
+
+    def total_sim_ms(self) -> float:
+        return self.root.total_sim_ms(self.model)
+
+    def to_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "view": self.view,
+            "round": self.round,
+            "rows": self.root.rows_out,
+            "wall_ms": self.root.wall_ms,
+            "sim_ms": self.total_sim_ms(),
+            "tally": self.total_tally(),
+            "root": self.root.to_dict(self.model),
+        }
+
+
+# ----------------------------------------------------------------------
+# Thread-local capture context
+# ----------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+def active_profile() -> QueryProfile | None:
+    """The profile currently capturing on this thread (or None)."""
+    return getattr(_tls, "profile", None)
+
+
+@contextmanager
+def capturing(profile: QueryProfile) -> Iterator[QueryProfile]:
+    """Make ``profile`` the active capture target for the block.
+
+    Operators constructed inside the block (hash-join builds happen at
+    construction time) find it via :func:`active_profile`.
+    """
+    previous = getattr(_tls, "profile", None)
+    _tls.profile = profile
+    try:
+        yield profile
+    finally:
+        _tls.profile = previous
+
+
+@contextmanager
+def maintenance_context(view: str, round: int | None) -> Iterator[None]:
+    """Tag profiles created inside the block with a view and round."""
+    previous = getattr(_tls, "maintenance", None)
+    _tls.maintenance = (view, round)
+    try:
+        yield
+    finally:
+        _tls.maintenance = previous
+
+
+def current_maintenance() -> tuple[str | None, int | None]:
+    """The (view, round) tag in effect on this thread."""
+    tag = getattr(_tls, "maintenance", None)
+    return tag if tag is not None else (None, None)
+
+
+# ----------------------------------------------------------------------
+# Process-global profile sink
+# ----------------------------------------------------------------------
+
+_sink: Callable[[dict], None] | None = None
+
+
+def set_profile_sink(
+    sink: Callable[[dict], None] | None,
+) -> Callable[[dict], None] | None:
+    """Install (or clear, with None) the global profile sink.
+
+    While a sink is installed every ``Database.execute`` call profiles
+    itself and hands ``profile.to_dict()`` to the sink.  Returns the
+    previously installed sink so callers can restore it.
+    """
+    global _sink
+    previous = _sink
+    _sink = sink
+    return previous
+
+
+def sink_active() -> bool:
+    """True when a global profile sink is installed."""
+    return _sink is not None
+
+
+def emit(profile: QueryProfile) -> None:
+    """Hand a finished profile to the global sink, if one is installed."""
+    if _sink is not None:
+        _sink(profile.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Plan attachment (engine-aware; imports engine lazily, only when
+# profiling is on, so this module stays import-light)
+# ----------------------------------------------------------------------
+
+
+def _timed_blocks(op: Any, node: ProfileNode):
+    """An instance-level ``blocks`` override that times and counts output.
+
+    Wall time is inclusive (it contains the children's time, like
+    Postgres EXPLAIN ANALYZE actual-time); rows/blocks count this
+    operator's own output.
+    """
+    import time
+
+    unbound = type(op).blocks
+
+    def blocks(block_size: int):
+        gen = unbound(op, block_size)
+        while True:
+            start = time.perf_counter()
+            try:
+                block = next(gen)
+            except StopIteration:
+                node.wall_ms += (time.perf_counter() - start) * 1e3
+                return
+            node.wall_ms += (time.perf_counter() - start) * 1e3
+            node.blocks += 1
+            node.rows_out += len(block)
+            yield block
+
+    return blocks
+
+
+def _label_for(op: Any) -> tuple[str, str]:
+    """(kind, label) for one engine operator instance."""
+    from repro.engine import aggregate as agg_mod
+    from repro.engine import join as join_mod
+    from repro.engine import operators as op_mod
+
+    if isinstance(op, op_mod.SeqScan):
+        return "scan", f"SeqScan({op.snapshot.name} AS {op.alias})"
+    if isinstance(op, op_mod.RowSource):
+        return "scan", f"RowSource({op.alias}, {len(op)} rows)"
+    if isinstance(op, op_mod.Filter):
+        return "filter", f"Filter({op.predicate!r})"
+    if isinstance(op, op_mod.Project):
+        return "project", f"Project({', '.join(op.columns)})"
+    if isinstance(op, join_mod.HashJoin):
+        return "join-probe", "HashJoin(probe)"
+    if isinstance(op, join_mod.IndexNestedLoopJoin):
+        return (
+            "join-probe",
+            f"IndexNestedLoopJoin({op.snapshot.name} AS {op.alias} "
+            f"via {op._right_column})",
+        )
+    if isinstance(op, join_mod.NestedLoopJoin):
+        return "join-probe", "NestedLoopJoin(probe)"
+    if isinstance(op, agg_mod.Aggregate):
+        spec = f"{op.func.upper()}({op.value!r})"
+        if op.group_by:
+            spec += f" GROUP BY {', '.join(op.group_by)}"
+        return "aggregate", f"Aggregate({spec})"
+    return "operator", type(op).__name__
+
+
+def attach_to_plan(plan: Any, profile: QueryProfile) -> None:
+    """Build profile nodes for a physical plan and hook the operators.
+
+    Walks the left-deep operator tree (``child`` / ``left`` references),
+    creates one node per operator under ``profile.root``, points each
+    operator's ``_prof`` at its node (the charge-site hooks), and wraps
+    each ``blocks`` method with a timing/counting shim.  Join builds that
+    already happened at construction time (hash-table build, nested-loop
+    inner materialization -- captured as counter snapshot deltas) become
+    ``join-build`` child nodes.
+    """
+    parent = profile.root
+    op = plan
+    while op is not None:
+        kind, label = _label_for(op)
+        node = parent.child(kind, label)
+        op._prof = node
+        op.blocks = _timed_blocks(op, node)
+        build_tally = getattr(op, "_build_tally", None)
+        if build_tally is not None:
+            build = node.child("join-build", op._build_label)
+            build.add_tally(build_tally)
+            build.rows_out = op._build_rows
+            build.wall_ms = op._build_wall_ms
+        op = getattr(op, "child", None) or getattr(op, "left", None)
+        parent = node
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _node_line(node: ProfileNode, model: Any) -> str:
+    parts = [f"{node.label}  rows={node.rows_out}"]
+    if node.blocks:
+        parts.append(f"blocks={node.blocks}")
+    parts.append(f"wall={node.wall_ms:.2f}ms")
+    parts.append(f"sim={node.sim_ms(model):.3f}ms")
+    if node.tally:
+        fields = " ".join(
+            f"{field}={count}" for field, count in sorted(node.tally.items())
+        )
+        parts.append(f"[{fields}]")
+    if node.workers:
+        busy = [entry["busy_ms"] for entry in node.workers.values()]
+        tasks = sum(entry["tasks"] for entry in node.workers.values())
+        parts.append(
+            f"workers={len(node.workers)} tasks={tasks} "
+            f"busy={min(busy):.2f}..{max(busy):.2f}ms"
+        )
+    return " ".join(parts)
+
+
+def _render_node(
+    node: ProfileNode, model: Any, prefix: str, lines: list[str]
+) -> None:
+    children = node.children
+    for i, child in enumerate(children):
+        last = i == len(children) - 1
+        connector = "└─ " if last else "├─ "
+        lines.append(prefix + connector + _node_line(child, model))
+        _render_node(child, model, prefix + ("   " if last else "│  "), lines)
+
+
+def render_profile(profile: QueryProfile) -> str:
+    """Render a profile as an EXPLAIN ANALYZE text tree."""
+    model = profile.model
+    head = "EXPLAIN ANALYZE"
+    if profile.view is not None:
+        head += f"  view={profile.view}"
+        if profile.round is not None:
+            head += f" round={profile.round}"
+    lines = [head, _node_line(profile.root, model)]
+    _render_node(profile.root, model, "", lines)
+    lines.append(
+        f"total: sim={profile.total_sim_ms():.3f}ms "
+        f"wall={profile.root.wall_ms:.2f}ms rows={profile.root.rows_out}"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Aggregation across many profiles (benchmark integration)
+# ----------------------------------------------------------------------
+
+
+def aggregate_profiles(profiles: list[dict]) -> dict:
+    """Fold profile dicts into per-operator-kind totals.
+
+    The shape that lands in ``benchmarks/results/*.json`` under
+    ``profile`` and that ``report_trajectory.py`` renders as the
+    top-operators table::
+
+        {"queries": N, "sim_ms": total,
+         "operators": {kind: {"nodes": n, "rows_out": r,
+                              "sim_ms": s, "wall_ms": w}}}
+    """
+    operators: dict[str, dict] = {}
+    sim_total = 0.0
+
+    def visit(node: dict) -> None:
+        nonlocal sim_total
+        kind = node.get("op", "operator")
+        entry = operators.setdefault(
+            kind, {"nodes": 0, "rows_out": 0, "sim_ms": 0.0, "wall_ms": 0.0}
+        )
+        entry["nodes"] += 1
+        entry["rows_out"] += node.get("rows_out", 0)
+        entry["sim_ms"] += node.get("sim_ms", 0.0)
+        entry["wall_ms"] += node.get("wall_ms", 0.0)
+        sim_total += node.get("sim_ms", 0.0)
+        for child in node.get("children", ()):
+            visit(child)
+
+    for profile in profiles:
+        root = profile.get("root")
+        if root:
+            visit(root)
+    return {
+        "queries": len(profiles),
+        "sim_ms": sim_total,
+        "operators": operators,
+    }

@@ -8,10 +8,11 @@ Renders the registry in the classic Prometheus text format (version
 * :class:`~repro.obs.metrics.Gauge` -> a ``gauge`` sample plus a
   ``<name>_peak`` companion gauge (unset gauges are omitted);
 * :class:`~repro.obs.metrics.Histogram` -> a ``summary`` family:
-  ``p50``/``p95`` as ``quantile``-labelled samples, exact ``_sum`` and
-  ``_count``, plus ``_min``/``_max`` companion gauges.  An empty
-  histogram renders only ``_sum 0`` and ``_count 0`` (no quantiles --
-  there is no distribution to summarize yet).
+  the shared :data:`~repro.obs.metrics.SUMMARY_QUANTILES`
+  (``p50``/``p95``/``p99``) as ``quantile``-labelled samples, exact
+  ``_sum`` and ``_count``, plus ``_min``/``_max`` companion gauges.  An
+  empty histogram renders only ``_sum 0`` and ``_count 0`` (no quantiles
+  -- there is no distribution to summarize yet).
 
 Dotted metric names map to the Prometheus grammar by replacing every
 character outside ``[a-zA-Z0-9_:]`` with ``_`` (``slo.refresh_margin``
@@ -26,13 +27,16 @@ from __future__ import annotations
 import math
 import re
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    SUMMARY_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 
 #: Characters allowed in a Prometheus metric name (after the first).
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
-
-#: Quantiles exposed for every non-empty histogram.
-SUMMARY_QUANTILES: tuple[float, ...] = (0.5, 0.95)
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 

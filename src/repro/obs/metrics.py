@@ -37,6 +37,12 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9_-]+(\.[A-Za-z0-9_-]+)*$")
 #: Histogram reservoir size.  Exact quantiles up to this many samples.
 RESERVOIR_SIZE = 8192
 
+#: The quantiles every summary surface reports.  Shared by
+#: :meth:`Histogram.snapshot` (hence ``/snapshot``) and the Prometheus
+#: renderer in :mod:`repro.obs.export`, so the two exposition paths can
+#: never drift apart.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
 
 def check_name(name: str) -> str:
     """Validate a dotted metric name; returns it unchanged."""
@@ -158,16 +164,17 @@ class Histogram:
     def snapshot(self) -> dict:
         if not self.count:
             return {"type": "histogram", "count": 0}
-        return {
+        out = {
             "type": "histogram",
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
         }
+        for q in SUMMARY_QUANTILES:
+            out[f"p{int(q * 100)}"] = self.quantile(q)
+        return out
 
 
 class MetricsRegistry:

@@ -17,6 +17,11 @@ exit summary.  :class:`MetricsServer` wraps an
 ``/samples``
     The attached :class:`~repro.obs.sampler.FlightRecorder` ring buffer
     as JSONL (404 when no sampler is attached).
+``/views``
+    Per-view maintenance-ledger summaries as JSON.  Backed by a ``views``
+    provider callable (e.g. ``coordinator.ledger_snapshot``) when one is
+    attached; otherwise reconstructed from the registry's ``ivm.view.*``
+    metrics, so any run emitting those is covered for free.
 
 Zero dependencies, thread-safe against the instrumented run (the metric
 classes lock their own state), and activated from the CLI with the
@@ -31,10 +36,36 @@ import threading
 import time
 import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from repro.obs.export import CONTENT_TYPE, render_prometheus
 from repro.obs.recorder import Recorder
 from repro.obs.sampler import FlightRecorder
+
+
+def _views_from_registry(snapshot: dict) -> dict[str, dict]:
+    """Reconstruct per-view summaries from ``ivm.view.*`` metric values.
+
+    The fallback behind ``/views`` when no ledger provider is attached:
+    groups ``ivm.view.<id>.<field>`` metrics by view id and flattens each
+    metric snapshot to a representative scalar (counter value, gauge
+    value, histogram count).
+    """
+    views: dict[str, dict] = {}
+    for name, data in snapshot.items():
+        if not name.startswith("ivm.view."):
+            continue
+        rest = name[len("ivm.view.") :]
+        vid, _, metric_field = rest.rpartition(".")
+        if not vid:
+            continue
+        entry = views.setdefault(vid, {})
+        if isinstance(data, dict):
+            value = data.get("value", data.get("count"))
+        else:
+            value = data
+        entry[metric_field] = value
+    return views
 
 
 class _ObsServer(ThreadingHTTPServer):
@@ -45,6 +76,7 @@ class _ObsServer(ThreadingHTTPServer):
 
     recorder: Recorder
     sampler: FlightRecorder | None
+    views_provider: "Callable[[], dict] | None"
     started_at: float
 
 
@@ -84,12 +116,27 @@ class _Handler(BaseHTTPRequestHandler):
                 for sample in sampler.samples()
             )
             self._reply(200, "application/x-ndjson", body.encode("utf-8"))
+        elif path == "/views":
+            provider = self.server.views_provider
+            if provider is not None:
+                views = provider()
+            else:
+                views = _views_from_registry(
+                    self.server.recorder.registry.snapshot()
+                )
+            self._reply_json(200, {"views": views})
         else:
             self._reply_json(
                 404,
                 {
                     "error": f"no route {path!r}",
-                    "routes": ["/metrics", "/healthz", "/snapshot", "/samples"],
+                    "routes": [
+                        "/metrics",
+                        "/healthz",
+                        "/snapshot",
+                        "/samples",
+                        "/views",
+                    ],
                 },
             )
 
@@ -120,6 +167,11 @@ class MetricsServer:
         details, so exposing beyond the machine is an explicit choice.
     sampler:
         Optional :class:`FlightRecorder` backing the ``/samples`` route.
+    views:
+        Optional zero-argument callable returning per-view maintenance
+        summaries for the ``/views`` route (typically
+        ``coordinator.ledger_snapshot``); without one the route falls
+        back to aggregating the registry's ``ivm.view.*`` metrics.
     """
 
     def __init__(
@@ -128,11 +180,13 @@ class MetricsServer:
         port: int = 0,
         host: str = "127.0.0.1",
         sampler: FlightRecorder | None = None,
+        views: "Callable[[], dict] | None" = None,
     ):
         self.recorder = recorder
         self.requested_port = int(port)
         self.host = host
         self.sampler = sampler
+        self.views = views
         self._server: _ObsServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -143,6 +197,7 @@ class MetricsServer:
         server = _ObsServer((self.host, self.requested_port), _Handler)
         server.recorder = self.recorder
         server.sampler = self.sampler
+        server.views_provider = self.views
         server.started_at = time.time()
         self._server = server
         self._thread = threading.Thread(

@@ -433,6 +433,9 @@ class TestFallback:
                 rows = db._pull(plan)
             assert len(rows) > 0
             assert rec.registry.get("engine.parallel.fallback").value == 1
+            assert rec.registry.get(
+                "engine.parallel.fallback.unsupported_stage"
+            ).value == 1
             assert rec.registry.get("engine.parallel.queries") is None
 
     def test_unpicklable_plan_falls_back_on_process_backend(self):
@@ -446,6 +449,19 @@ class TestFallback:
                 result = db.execute(spec)
             assert result.rows == []
             assert rec.registry.get("engine.parallel.fallback").value == 1
+            assert rec.registry.get(
+                "engine.parallel.fallback.unpicklable_plan"
+            ).value == 1
+
+    def test_fallback_reason_names_are_stable(self):
+        """The reason suffixes are part of the metric catalog; renaming
+        one silently breaks dashboards keyed on the full name."""
+        from repro.engine.parallel import ParallelUnsupported
+
+        exc = ParallelUnsupported("nope", reason="unpicklable_snapshot")
+        assert exc.reason == "unpicklable_snapshot"
+        # Untagged raises still land in a catalogued bucket.
+        assert ParallelUnsupported("nope").reason == "unsupported"
 
     def test_fallback_charges_match_serial(self):
         class Opaque:

@@ -1,0 +1,350 @@
+"""Tests for the per-view maintenance ledger (``repro.ivm.ledger``).
+
+Unit coverage of the entry/ledger data model and the golden summary
+table, plus the acceptance scenario: a coordinator hosting eight views
+over shared TPC-R base tables reports per-view per-round cost, with
+cumulative ledger totals agreeing with the maintenance log and the
+``ivm.view.*`` metric family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.costfuncs import LinearCost
+from repro.core.naive import NaivePolicy
+from repro.core.online import OnlinePolicy
+from repro.engine.costmodel import CostModel
+from repro.ivm.ledger import RoundEntry, ViewLedger, ledger_summary
+from repro.ivm.maintainer import ViewMaintainer
+from repro.ivm.multiview import MaintenanceCoordinator, ViewConfig
+from repro.ivm.view import MaterializedView
+from repro.tpcr.updates import PartSuppCostUpdater, SupplierNationUpdater
+from tests.conftest import make_paper_spec, make_tpcr_db
+from tests.ivm.test_multiview import COSTS, count_view_spec
+
+
+def alpha_ledger() -> ViewLedger:
+    """Two fixed rounds with hand-picked charges (used by golden tests)."""
+    ledger = ViewLedger(view="alpha", aliases=("PS", "S"))
+    ledger.record(
+        RoundEntry(
+            t=0,
+            arrivals=(2, 1),
+            pre_state=(2, 1),
+            action=(2, 0),
+            forced=False,
+            predicted_ms=1.0,
+            sim_ms=12.5,
+            wall_ms=0.8,
+            backlog=1,
+            charges={"index_probes": 10, "agg_updates": 5},
+        )
+    )
+    ledger.record(
+        RoundEntry(
+            t=1,
+            arrivals=(1, 1),
+            pre_state=(2, 1),
+            action=(1, 1),
+            forced=True,
+            predicted_ms=2.0,
+            sim_ms=7.5,
+            wall_ms=0.2,
+            backlog=0,
+            charges={"hash_probes": 100, "sort_items": 3},
+        )
+    )
+    return ledger
+
+
+class TestRoundEntry:
+    def test_mods_and_flushes(self):
+        entry = alpha_ledger().entries[0]
+        assert entry.mods_applied == 2
+        assert entry.flushes == 1  # only the PS component flushed
+        both = alpha_ledger().entries[1]
+        assert both.mods_applied == 2
+        assert both.flushes == 2
+
+    def test_frozen(self):
+        entry = alpha_ledger().entries[0]
+        with pytest.raises(AttributeError):
+            entry.t = 99
+
+
+class TestViewLedger:
+    def test_cumulative_totals(self):
+        ledger = alpha_ledger()
+        assert ledger.rounds == 2
+        assert ledger.flushes == 3
+        assert ledger.total_mods == 4
+        assert ledger.total_sim_ms == pytest.approx(20.0)
+        assert ledger.total_wall_ms == pytest.approx(1.0)
+        assert ledger.backlog == 0  # last round cleared it
+
+    def test_charge_totals_merge_fields(self):
+        assert alpha_ledger().charge_totals() == {
+            "index_probes": 10,
+            "agg_updates": 5,
+            "hash_probes": 100,
+            "sort_items": 3,
+        }
+
+    def test_join_and_agg_cost_split(self):
+        model = CostModel()  # index_probe=0.02 hash_probe=0.008 ...
+        ledger = alpha_ledger()
+        assert ledger.join_ms(model) == pytest.approx(
+            10 * model.index_probe + 100 * model.hash_probe
+        )
+        assert ledger.agg_ms(model) == pytest.approx(
+            5 * model.agg_update + 3 * model.sort_item
+        )
+
+    def test_metric_id_sanitizes_view_names(self):
+        assert ViewLedger(view="min cost.v2", aliases=()).metric_id == (
+            "min_cost_v2"
+        )
+        assert ViewLedger(view="plain-name_3", aliases=()).metric_id == (
+            "plain-name_3"
+        )
+
+    def test_empty_ledger(self):
+        ledger = ViewLedger(view="v", aliases=("PS",))
+        assert ledger.rounds == 0
+        assert ledger.backlog == 0
+        assert ledger.charge_totals() == {}
+        assert ledger.summary(CostModel())["sim_ms"] == 0
+
+
+class TestGoldenSummary:
+    def test_ledger_summary_golden(self):
+        beta = ViewLedger(view="beta", aliases=("S",))
+        table = ledger_summary([alpha_ledger(), beta], CostModel())
+        assert table == (
+            "view            rounds  flushes     mods     sim ms"
+            "    join ms     agg ms  backlog\n"
+            "-----------------------------------------------------"
+            "-----------------------------\n"
+            "alpha                2        3        4     20.000"
+            "      1.000      0.110        0\n"
+            "beta                 0        0        0      0.000"
+            "      0.000      0.000        0"
+        )
+
+    def test_ledger_summary_empty(self):
+        table = ledger_summary([], CostModel())
+        assert table.splitlines()[-1] == "(no views)"
+
+    def test_long_view_names_widen_the_column(self):
+        long = ViewLedger(view="a" * 25, aliases=())
+        table = ledger_summary([long], CostModel())
+        header, dashes, row = table.splitlines()
+        assert header.startswith("view" + " " * 21)
+        assert row.startswith("a" * 25)
+        assert len(dashes) == len(header)
+
+
+class TestMaintainerLedger:
+    def make_maintainer(self):
+        db = make_tpcr_db()
+        view = MaterializedView("paper", db, make_paper_spec())
+        maintainer = ViewMaintainer(
+            view,
+            COSTS,
+            limit=600.0,
+            policy=OnlinePolicy(),
+            scheduled_aliases=("PS", "S"),
+        )
+        ps = PartSuppCostUpdater(db.table("partsupp"), seed=21)
+        sup = SupplierNationUpdater(db.table("supplier"), seed=22)
+        return maintainer, ps, sup
+
+    def test_one_entry_per_round(self):
+        maintainer, ps, sup = self.make_maintainer()
+        for t in range(6):
+            ps.apply(6)
+            sup.apply(1)
+            maintainer.step(t)
+        maintainer.refresh()
+        assert maintainer.ledger.rounds == 7
+        assert [e.t for e in maintainer.ledger.entries] == list(range(7))
+        assert maintainer.ledger.entries[-1].forced
+        assert maintainer.ledger.backlog == 0
+
+    def test_ledger_agrees_with_maintenance_log(self):
+        maintainer, ps, sup = self.make_maintainer()
+        for t in range(5):
+            ps.apply(6)
+            sup.apply(1)
+            maintainer.step(t)
+        maintainer.refresh()
+        ledger, log = maintainer.ledger, maintainer.log
+        assert ledger.total_sim_ms == pytest.approx(log.total_actual_cost_ms)
+        assert ledger.total_mods == sum(sum(s.action) for s in log.steps)
+        for entry, step in zip(ledger.entries, log.steps, strict=True):
+            assert entry.t == step.t
+            assert entry.action == step.action
+            assert entry.pre_state == step.pre_state
+            assert entry.sim_ms == pytest.approx(step.actual_cost_ms)
+            assert entry.wall_ms >= 0
+
+    def test_round_charges_weigh_up_to_round_cost(self):
+        """Per-round charge deltas priced under the model reproduce the
+        round's simulated cost exactly -- the ledger loses nothing."""
+        maintainer, ps, sup = self.make_maintainer()
+        model = maintainer.view.database.counter.model
+        from repro.engine.costmodel import OperationCounter
+
+        weights = OperationCounter._WEIGHT_BY_FIELD
+        for t in range(4):
+            ps.apply(8)
+            sup.apply(1)
+            maintainer.step(t)
+        maintainer.refresh()
+        flushed = [e for e in maintainer.ledger.entries if e.flushes]
+        assert flushed, "workload never flushed; test is vacuous"
+        for entry in flushed:
+            priced = sum(
+                count * getattr(model, weights[f])
+                for f, count in entry.charges.items()
+            )
+            assert priced == pytest.approx(entry.sim_ms)
+
+    def test_view_metrics_emitted_under_recorder(self):
+        maintainer, ps, sup = self.make_maintainer()
+        with obs.recording() as rec:
+            for t in range(4):
+                ps.apply(6)
+                sup.apply(1)
+                maintainer.step(t)
+            maintainer.refresh()
+        registry = rec.registry
+        ledger = maintainer.ledger
+        vid = ledger.metric_id
+        assert registry.get(f"ivm.view.{vid}.rounds").value == ledger.rounds
+        assert registry.get(f"ivm.view.{vid}.flushes").value == ledger.flushes
+        assert registry.get(
+            f"ivm.view.{vid}.mods_applied"
+        ).value == ledger.total_mods
+        assert registry.get(
+            f"ivm.view.{vid}.cost_ms"
+        ).value == pytest.approx(ledger.total_sim_ms)
+        assert registry.get(f"ivm.view.{vid}.backlog").value == ledger.backlog
+        assert registry.get(
+            f"ivm.view.{vid}.round_ms"
+        ).count == ledger.rounds
+
+    def test_no_metrics_without_recorder(self):
+        maintainer, ps, sup = self.make_maintainer()
+        ps.apply(6)
+        sup.apply(1)
+        maintainer.step(0)
+        # The ledger still filled (always on); only export was skipped.
+        assert maintainer.ledger.rounds == 1
+
+
+class TestCoordinatorFleet:
+    """The acceptance scenario: >= 8 views over shared base tables."""
+
+    N_PAPER, N_COUNT = 4, 4
+
+    def make_fleet(self):
+        db = make_tpcr_db()
+        coordinator = MaintenanceCoordinator(db)
+        for i in range(self.N_PAPER):
+            coordinator.add_view(
+                ViewConfig(
+                    name=f"min_cost_{i}",
+                    query=make_paper_spec(),
+                    policy=OnlinePolicy() if i % 2 else NaivePolicy(),
+                    cost_functions=COSTS,
+                    limit=600.0 + 50.0 * i,
+                    scheduled_aliases=("PS", "S"),
+                )
+            )
+        for i in range(self.N_COUNT):
+            coordinator.add_view(
+                ViewConfig(
+                    name=f"region_counts_{i}",
+                    query=count_view_spec(),
+                    policy=NaivePolicy(),
+                    cost_functions=(LinearCost(slope=12.0, setup=20.0),),
+                    limit=300.0 + 100.0 * i,
+                    scheduled_aliases=("S",),
+                )
+            )
+        ps = PartSuppCostUpdater(db.table("partsupp"), seed=91)
+        sup = SupplierNationUpdater(db.table("supplier"), seed=92)
+        return coordinator, ps, sup
+
+    def run_fleet(self, coordinator, ps, sup, steps=5):
+        for t in range(steps):
+            ps.apply(6)
+            sup.apply(1)
+            coordinator.step(t)
+        coordinator.refresh()
+
+    def test_every_view_has_a_full_ledger(self):
+        coordinator, ps, sup = self.make_fleet()
+        self.run_fleet(coordinator, ps, sup)
+        ledgers = coordinator.ledgers()
+        assert len(ledgers) == self.N_PAPER + self.N_COUNT >= 8
+        for name, ledger in ledgers.items():
+            assert ledger.view == name
+            assert ledger.rounds == 6  # 5 steps + forced refresh
+            assert ledger.backlog == 0
+            assert ledger.total_sim_ms > 0
+
+    def test_ledger_snapshot_matches_cost_breakdown(self):
+        coordinator, ps, sup = self.make_fleet()
+        self.run_fleet(coordinator, ps, sup)
+        snapshot = coordinator.ledger_snapshot()
+        breakdown = coordinator.cost_breakdown()
+        assert set(snapshot) == set(breakdown)
+        for name, summary in snapshot.items():
+            assert summary["sim_ms"] == pytest.approx(breakdown[name])
+            assert summary["join_ms"] + summary["agg_ms"] <= (
+                summary["sim_ms"] + 1e-9
+            )
+
+    def test_views_differ_per_policy_and_spec(self):
+        """Eight ledgers over the same base tables are genuinely per-view:
+        paper views see two scheduled aliases, count views one, and the
+        per-view cost split reflects each view's own plan."""
+        coordinator, ps, sup = self.make_fleet()
+        self.run_fleet(coordinator, ps, sup)
+        ledgers = coordinator.ledgers()
+        for i in range(self.N_PAPER):
+            assert ledgers[f"min_cost_{i}"].aliases == ("PS", "S")
+        for i in range(self.N_COUNT):
+            assert ledgers[f"region_counts_{i}"].aliases == ("S",)
+        model = coordinator.database.counter.model
+        paper_join = ledgers["min_cost_0"].join_ms(model)
+        assert paper_join > 0  # the 4-way join pays probe work
+
+    def test_summary_table_lists_all_views(self):
+        coordinator, ps, sup = self.make_fleet()
+        self.run_fleet(coordinator, ps, sup, steps=2)
+        table = coordinator.ledger_summary()
+        lines = table.splitlines()
+        assert lines[0].split() == [
+            "view", "rounds", "flushes", "mods",
+            "sim", "ms", "join", "ms", "agg", "ms", "backlog",
+        ]
+        assert len(lines) == 2 + self.N_PAPER + self.N_COUNT
+        for name in coordinator.views:
+            assert any(line.startswith(name) for line in lines[2:])
+
+    def test_fleet_metrics_per_view(self):
+        coordinator, ps, sup = self.make_fleet()
+        with obs.recording() as rec:
+            self.run_fleet(coordinator, ps, sup, steps=3)
+        names = set(rec.registry.names(prefix="ivm.view."))
+        for name, ledger in coordinator.ledgers().items():
+            vid = ledger.metric_id
+            assert f"ivm.view.{vid}.rounds" in names
+            assert rec.registry.get(
+                f"ivm.view.{vid}.rounds"
+            ).value == ledger.rounds

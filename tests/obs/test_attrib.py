@@ -1,0 +1,320 @@
+"""Tests for hierarchical cost attribution (``repro.obs.attrib``).
+
+Covers the profile data model, the EXPLAIN ANALYZE renderer (golden
+output), the global profile sink, cross-profile aggregation for the
+benchmark dashboard, and the disabled-mode overhead bound.  The
+charge-neutrality differential tests (profiled run == unprofiled run,
+byte for byte) live in ``tests/integration/test_attrib_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine.costmodel import CostModel, OperationCounter
+from repro.engine.database import Database
+from repro.engine.expr import col, lit
+from repro.engine.query import AggregateSpec, JoinSpec, QuerySpec
+from repro.engine.types import ColumnType, Schema
+from repro.obs import attrib
+
+#: Round weights so golden sim_ms values are exact decimals.
+FLAT_MODEL = CostModel(
+    page_read=1.0,
+    tuple_cpu=0.001,
+    compare=0.001,
+    index_probe=0.01,
+    hash_build=0.01,
+    hash_probe=0.01,
+    row_write=0.01,
+    index_maintain=0.01,
+    agg_update=0.01,
+    sort_item=0.01,
+    startup=0.5,
+)
+
+
+def make_db(block_size=64) -> Database:
+    db = Database(block_size=block_size)
+    t = db.create_table(
+        "t", Schema.of(k=ColumnType.INT, grp=ColumnType.INT, v=ColumnType.FLOAT)
+    )
+    d = db.create_table("d", Schema.of(k=ColumnType.INT, w=ColumnType.FLOAT))
+    for i in range(40):
+        t.insert((i % 5, i % 3, float(i)))
+    for k in range(5):
+        d.insert((k, k * 10.0))
+    return db
+
+
+def join_spec() -> QuerySpec:
+    return QuerySpec(
+        base_alias="T",
+        base_table="t",
+        joins=(JoinSpec("D", "d", "T.k", "k"),),
+        filters=(col("T.grp") != lit(1),),
+        aggregate=AggregateSpec(func="min", value=col("T.v"), group_by=("D.w",)),
+    )
+
+
+class TestProfileNode:
+    def test_add_and_tally(self):
+        node = attrib.ProfileNode("scan", "SeqScan(t)")
+        node.add("tuple_cpu", 10)
+        node.add("tuple_cpu", 5)
+        node.add("page_reads")
+        assert node.tally == {"tuple_cpu": 15, "page_reads": 1}
+
+    def test_add_tally_skips_zeros(self):
+        node = attrib.ProfileNode("filter", "Filter")
+        node.add_tally({"compares": 4, "tuple_cpu": 0})
+        assert node.tally == {"compares": 4}
+
+    def test_total_tally_sums_descendants(self):
+        root = attrib.ProfileNode("query", "q")
+        a = root.child("scan", "s")
+        b = a.child("join-build", "b")
+        root.add("startups", 1)
+        a.add("tuple_cpu", 7)
+        b.add("hash_builds", 3)
+        b.add("tuple_cpu", 2)
+        assert root.total_tally() == {
+            "startups": 1,
+            "tuple_cpu": 9,
+            "hash_builds": 3,
+        }
+
+    def test_sim_ms_uses_model_weights(self):
+        node = attrib.ProfileNode("scan", "s")
+        node.add("page_reads", 3)
+        node.add("tuple_cpu", 100)
+        assert node.sim_ms(FLAT_MODEL) == pytest.approx(3.0 + 0.1)
+
+    def test_worker_spread_accumulates(self):
+        node = attrib.ProfileNode("merge", "Merge(in-order)")
+        node.add_worker("w0", 1.5)
+        node.add_worker("w1", 2.0)
+        node.add_worker("w0", 0.5)
+        assert node.workers == {
+            "w0": {"tasks": 2, "busy_ms": 2.0},
+            "w1": {"tasks": 1, "busy_ms": 2.0},
+        }
+
+    def test_to_dict_shape(self):
+        node = attrib.ProfileNode("scan", "s")
+        node.add("tuple_cpu", 4)
+        node.rows_out = 4
+        child = node.child("join-build", "b")
+        child.add("hash_builds", 2)
+        out = node.to_dict(FLAT_MODEL)
+        assert out["op"] == "scan"
+        assert out["sim_ms"] == pytest.approx(0.004)
+        assert out["children"][0]["tally"] == {"hash_builds": 2}
+
+
+class TestQueryProfile:
+    def test_merge_node_is_lazy_and_single(self):
+        profile = attrib.QueryProfile(FLAT_MODEL, "q")
+        assert profile.root.children == []
+        merge = profile.merge_node()
+        assert profile.merge_node() is merge
+        assert merge.kind == "merge"
+        assert profile.root.children == [merge]
+
+    def test_to_dict_carries_view_and_round(self):
+        profile = attrib.QueryProfile(FLAT_MODEL, "q", view="v1", round=7)
+        profile.finish(rows_out=3, wall_ms=1.25)
+        out = profile.to_dict()
+        assert out["view"] == "v1"
+        assert out["round"] == 7
+        assert out["rows"] == 3
+        assert out["wall_ms"] == 1.25
+
+
+class TestCaptureContext:
+    def test_capturing_is_scoped_and_restores(self):
+        assert attrib.active_profile() is None
+        profile = attrib.QueryProfile(FLAT_MODEL, "q")
+        with attrib.capturing(profile):
+            assert attrib.active_profile() is profile
+            inner = attrib.QueryProfile(FLAT_MODEL, "inner")
+            with attrib.capturing(inner):
+                assert attrib.active_profile() is inner
+            assert attrib.active_profile() is profile
+        assert attrib.active_profile() is None
+
+    def test_maintenance_context(self):
+        assert attrib.current_maintenance() == (None, None)
+        with attrib.maintenance_context("v", 4):
+            assert attrib.current_maintenance() == ("v", 4)
+        assert attrib.current_maintenance() == (None, None)
+
+
+class TestProfileSink:
+    def test_sink_receives_every_query_and_restores(self):
+        db = make_db()
+        profiles: list[dict] = []
+        sink = profiles.append
+        previous = attrib.set_profile_sink(sink)
+        try:
+            assert attrib.sink_active()
+            db.execute(join_spec())
+            db.execute(QuerySpec(base_alias="T", base_table="t"))
+        finally:
+            assert attrib.set_profile_sink(previous) is sink
+        assert not attrib.sink_active()
+        assert len(profiles) == 2
+        assert profiles[0]["query"] == "t ⋈ d → MIN"
+        assert profiles[0]["rows"] == len(db.execute(join_spec()).rows)
+        # The sink saw tallies identical to what the counter charged.
+        assert sum(profiles[0]["tally"].values()) > 0
+
+    def test_sink_silently_skips_row_mode(self):
+        db = Database(block_size=None)
+        t = db.create_table("t", Schema.of(x=ColumnType.INT))
+        t.insert((1,))
+        profiles: list[dict] = []
+        previous = attrib.set_profile_sink(profiles.append)
+        try:
+            result = db.execute(QuerySpec(base_alias="T", base_table="t"))
+        finally:
+            attrib.set_profile_sink(previous)
+        assert result.rows == [(1,)]
+        assert profiles == []  # row-mode database: sink mode is a no-op
+
+    def test_explicit_profile_on_row_mode_raises(self):
+        db = Database(block_size=None)
+        t = db.create_table("t", Schema.of(x=ColumnType.INT))
+        t.insert((1,))
+        with pytest.raises(ValueError, match="blocked execution"):
+            db.execute(QuerySpec(base_alias="T", base_table="t"), profile=True)
+
+
+class TestProfiledExecution:
+    def test_profile_total_equals_counter_delta(self):
+        db = make_db()
+        before = db.counter.snapshot()
+        result = db.execute(join_spec(), profile=True)
+        after = db.counter.snapshot()
+        delta = {f: after[f] - before[f] for f in after if after[f] != before[f]}
+        assert result.profile is not None
+        assert result.profile.total_tally() == delta
+
+    def test_unprofiled_result_has_no_profile(self):
+        db = make_db()
+        result = db.execute(join_spec())
+        assert result.profile is None
+
+    def test_plan_nodes_cover_the_operators(self):
+        db = make_db()
+        result = db.execute(join_spec(), profile=True)
+        kinds = set()
+
+        def visit(node):
+            kinds.add(node.kind)
+            for child in node.children:
+                visit(child)
+
+        visit(result.profile.root)
+        assert {"query", "scan", "filter", "join-probe", "join-build",
+                "aggregate"} <= kinds
+
+    def test_explain_analyze_renders_the_tree(self):
+        db = make_db()
+        text = db.explain(join_spec(), analyze=True)
+        assert text.startswith("EXPLAIN ANALYZE")
+        assert "SeqScan(t AS T)" in text
+        assert "HashJoin(probe)" in text
+        assert "Aggregate(MIN" in text
+        assert text.splitlines()[-1].startswith("total: sim=")
+
+
+class TestGoldenRenderer:
+    def test_render_profile_golden(self):
+        """Exact rendered output for a hand-built tree with fixed walls."""
+        profile = attrib.QueryProfile(FLAT_MODEL, "t ⋈ d → MIN", view="v", round=3)
+        root = profile.root
+        root.add("startups", 1)
+        agg = root.child("aggregate", "Aggregate(MIN(T.v))")
+        agg.add("agg_updates", 10)
+        agg.rows_out, agg.blocks, agg.wall_ms = 2, 1, 0.5
+        probe = agg.child("join-probe", "HashJoin(probe)")
+        probe.add("hash_probes", 40)
+        probe.rows_out, probe.blocks, probe.wall_ms = 40, 2, 1.25
+        build = probe.child("join-build", "Build(SeqScan(d AS D))")
+        build.add("hash_builds", 5)
+        build.add("page_reads", 1)
+        build.rows_out, build.wall_ms = 5, 0.25
+        profile.finish(rows_out=2, wall_ms=2.0)
+        expected = "\n".join(
+            [
+                "EXPLAIN ANALYZE  view=v round=3",
+                "t ⋈ d → MIN  rows=2 wall=2.00ms sim=0.500ms [startups=1]",
+                "└─ Aggregate(MIN(T.v))  rows=2 blocks=1 wall=0.50ms"
+                " sim=0.100ms [agg_updates=10]",
+                "   └─ HashJoin(probe)  rows=40 blocks=2 wall=1.25ms"
+                " sim=0.400ms [hash_probes=40]",
+                "      └─ Build(SeqScan(d AS D))  rows=5 wall=0.25ms"
+                " sim=1.050ms [hash_builds=5 page_reads=1]",
+                "total: sim=2.050ms wall=2.00ms rows=2",
+            ]
+        )
+        assert attrib.render_profile(profile) == expected
+
+    def test_render_profile_worker_spread_line(self):
+        profile = attrib.QueryProfile(FLAT_MODEL, "q")
+        merge = profile.merge_node()
+        merge.add_worker("w0", 1.0)
+        merge.add_worker("w1", 3.0)
+        merge.add_worker("w1", 1.0)
+        text = attrib.render_profile(profile)
+        assert "Merge(in-order)" in text
+        assert "workers=2 tasks=3 busy=1.00..4.00ms" in text
+
+
+class TestAggregateProfiles:
+    def test_folds_operator_kinds(self):
+        db = make_db()
+        dicts = []
+        previous = attrib.set_profile_sink(dicts.append)
+        try:
+            db.execute(join_spec())
+            db.execute(join_spec())
+        finally:
+            attrib.set_profile_sink(previous)
+        agg = attrib.aggregate_profiles(dicts)
+        assert agg["queries"] == 2
+        assert agg["sim_ms"] > 0
+        assert agg["operators"]["scan"]["nodes"] == 2
+        assert agg["operators"]["join-build"]["sim_ms"] > 0
+        for entry in agg["operators"].values():
+            assert set(entry) == {"nodes", "rows_out", "sim_ms", "wall_ms"}
+
+    def test_empty_input(self):
+        assert attrib.aggregate_profiles([]) == {
+            "queries": 0,
+            "sim_ms": 0.0,
+            "operators": {},
+        }
+
+
+class TestDisabledOverhead:
+    def test_disabled_checks_are_cheap(self):
+        """The acceptance bound: with no sink and no capture, the per-call
+        hooks (the exact checks on the engine hot path) must be trivial --
+        200k of them well under a second even on a slow CI box."""
+        assert not attrib.sink_active()
+        assert attrib.active_profile() is None
+        start = time.perf_counter()
+        for __ in range(100_000):
+            attrib.sink_active()
+            attrib.active_profile()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0, f"disabled-mode hooks too slow: {elapsed:.3f}s"
+
+    def test_operator_prof_defaults_to_none(self):
+        from repro.engine.operators import Operator
+
+        assert Operator._prof is None

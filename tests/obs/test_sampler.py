@@ -68,6 +68,34 @@ class TestSeries:
         assert times == sorted(times)
 
 
+class TestViewGauges:
+    def test_samples_capture_ivm_view_metrics(self):
+        """The sampler snapshots the whole registry, so the per-view
+        maintenance family is in every sample and series() can extract
+        backlog/cost curves per view with no extra wiring."""
+        recorder = obs.Recorder()
+        flight = FlightRecorder(recorder, interval_s=60)
+        recorder.counter("ivm.view.v1.rounds")
+        recorder.gauge("ivm.view.v1.backlog", 5.0)
+        recorder.observe("ivm.view.v1.round_ms", 2.0)
+        flight.sample_now()
+        recorder.counter("ivm.view.v1.rounds")
+        recorder.gauge("ivm.view.v1.backlog", 1.0)
+        recorder.observe("ivm.view.v1.round_ms", 6.0)
+        flight.sample_now()
+        sample = flight.samples()[-1]["metrics"]
+        assert sample["ivm.view.v1.rounds"]["value"] == 2
+        assert sample["ivm.view.v1.backlog"]["value"] == 1.0
+        assert sample["ivm.view.v1.backlog"]["peak"] == 5.0
+        assert [v for _, v in flight.series("ivm.view.v1.backlog")] == [
+            5.0,
+            1.0,
+        ]
+        assert [
+            v for _, v in flight.series("ivm.view.v1.round_ms", "max")
+        ] == [2.0, 6.0]
+
+
 class TestBackgroundThread:
     def test_start_stop_collects_samples(self):
         recorder = obs.Recorder()

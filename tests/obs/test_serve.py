@@ -93,6 +93,89 @@ class TestNoSampler:
             assert json.loads(body)["samples"] is None
 
 
+class TestViewsRoute:
+    def test_views_uses_attached_provider(self):
+        summaries = {
+            "min_cost": {"rounds": 4, "sim_ms": 12.5, "backlog": 3},
+            "region_counts": {"rounds": 4, "sim_ms": 2.0, "backlog": 0},
+        }
+        server = MetricsServer(obs.Recorder(), port=0, views=lambda: summaries)
+        with server:
+            _, _, body = _get(server.url + "/views")
+        assert json.loads(body) == {"views": summaries}
+
+    def test_views_falls_back_to_registry_metrics(self):
+        recorder = obs.Recorder()
+        recorder.counter("ivm.view.min_cost.rounds", 3)
+        recorder.counter("ivm.view.min_cost.mods_applied", 17)
+        recorder.gauge("ivm.view.min_cost.backlog", 2.0)
+        recorder.observe("ivm.view.min_cost.round_ms", 1.5)
+        recorder.counter("ivm.view.other.rounds", 1)
+        recorder.counter("engine.queries", 9)  # not a view metric
+        with MetricsServer(recorder, port=0) as server:
+            _, _, body = _get(server.url + "/views")
+        views = json.loads(body)["views"]
+        assert set(views) == {"min_cost", "other"}
+        assert views["min_cost"]["rounds"] == 3
+        assert views["min_cost"]["mods_applied"] == 17
+        assert views["min_cost"]["backlog"] == 2.0
+        assert views["min_cost"]["round_ms"] == 1  # histogram -> count
+        assert views["other"] == {"rounds": 1}
+
+    def test_views_empty_when_nothing_recorded(self):
+        with MetricsServer(obs.Recorder(), port=0) as server:
+            _, _, body = _get(server.url + "/views")
+        assert json.loads(body) == {"views": {}}
+
+    def test_views_from_registry_helper_ignores_malformed_names(self):
+        from repro.obs.serve import _views_from_registry
+
+        snapshot = {
+            "ivm.view.v1.rounds": {"type": "counter", "value": 2},
+            "ivm.view.noField": {"type": "counter", "value": 5},  # no split
+            "slo.breaches": {"type": "counter", "value": 1},
+        }
+        assert _views_from_registry(snapshot) == {"v1": {"rounds": 2}}
+
+
+class TestQuantileParity:
+    """/snapshot and /metrics must report the same quantile set, computed
+    from the same reservoir -- SUMMARY_QUANTILES is the single source."""
+
+    def test_snapshot_and_prometheus_quantiles_agree(self):
+        from repro.obs.metrics import SUMMARY_QUANTILES
+
+        recorder = obs.Recorder()
+        for i in range(200):
+            recorder.observe("ivm.flush.actual_ms", float(i))
+        with MetricsServer(recorder, port=0) as server:
+            _, _, snap_body = _get(server.url + "/snapshot")
+            _, _, prom_body = _get(server.url + "/metrics")
+        snap = json.loads(snap_body)["ivm.flush.actual_ms"]
+        assert 0.99 in SUMMARY_QUANTILES
+        for q in SUMMARY_QUANTILES:
+            key = f"p{int(q * 100)}"
+            assert key in snap, f"/snapshot missing {key}"
+            line = f'ivm_flush_actual_ms{{quantile="{q}"}} '
+            match = [
+                l for l in prom_body.splitlines() if l.startswith(line)
+            ]
+            assert match, f"/metrics missing quantile {q}"
+            assert float(match[0].split()[-1]) == snap[key]
+
+    def test_snapshot_gauge_reports_peak(self):
+        recorder = obs.Recorder()
+        recorder.gauge("slo.refresh_margin", 10.0)
+        recorder.gauge("slo.refresh_margin", 4.0)
+        with MetricsServer(recorder, port=0) as server:
+            _, _, snap_body = _get(server.url + "/snapshot")
+            _, _, prom_body = _get(server.url + "/metrics")
+        snap = json.loads(snap_body)["slo.refresh_margin"]
+        assert snap["value"] == 4.0
+        assert snap["peak"] == 10.0
+        assert "slo_refresh_margin_peak 10" in prom_body
+
+
 class TestLiveScrape:
     def test_scrape_while_workload_is_running(self):
         """/metrics answers mid-run while another thread records."""

@@ -66,6 +66,90 @@ class TestSqlCommand:
         assert "more rows" in out
 
 
+class TestExplainCommand:
+    QUERY = (
+        "SELECT MIN(PS.supplycost) FROM partsupp PS, supplier S "
+        "WHERE PS.suppkey = S.suppkey"
+    )
+
+    def test_plain_explain_prints_plan(self, capsys):
+        code = main(["explain", self.QUERY, "--scale", "0.002"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SeqScan(partsupp" in out
+        assert "EXPLAIN ANALYZE" not in out
+
+    def test_analyze_prints_profile_tree(self, capsys):
+        code = main(["explain", self.QUERY, "--scale", "0.002", "--analyze"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("EXPLAIN ANALYZE")
+        assert "SeqScan(partsupp AS PS)" in out
+        assert "IndexNestedLoopJoin(supplier" in out
+        assert "Aggregate(MIN" in out
+        assert "rows=" in out and "sim=" in out and "wall=" in out
+        assert out.strip().splitlines()[-1].startswith("total: sim=")
+
+    def test_sql_error_reported(self, capsys):
+        code = main(["explain", "SELECT FROM nothing", "--scale", "0.002"])
+        assert code == 1
+        assert "SQL error" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_profile_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "profiles.jsonl"
+        code = main(
+            [
+                "--profile", str(path),
+                "explain",
+                "SELECT COUNT(*) FROM supplier S",
+                "--scale", "0.002",
+                "--analyze",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert f"wrote 1 query profiles to {path}" in captured.err
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        profile = json.loads(lines[0])
+        assert profile["query"] == "supplier → COUNT"
+        assert profile["rows"] == 1
+        assert profile["sim_ms"] > 0
+        assert profile["root"]["op"] == "query"
+        kinds = {child["op"] for child in profile["root"]["children"]}
+        assert "aggregate" in kinds
+
+    def test_profile_restores_previous_sink(self, tmp_path):
+        from repro.obs import attrib
+
+        assert not attrib.sink_active()
+        main(
+            [
+                "--profile", str(tmp_path / "p.jsonl"),
+                "explain",
+                "SELECT COUNT(*) FROM supplier S",
+                "--scale", "0.002",
+            ]
+        )
+        assert not attrib.sink_active()
+
+    def test_unwritable_profile_destination_fails_fast(self, tmp_path, capsys):
+        code = main(
+            [
+                "--profile", str(tmp_path / "missing-dir" / "p.jsonl"),
+                "explain",
+                "SELECT COUNT(*) FROM supplier S",
+                "--scale", "0.002",
+            ]
+        )
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
 class TestGenerateCommand:
     def test_writes_tbl_files(self, tmp_path, capsys):
         code = main(

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Lint: every metric name emitted in ``src/`` is documented, and vice versa.
+
+The metric catalog in ``docs/observability.md`` is the contract for every
+dashboard and scraper pointed at this code; a metric renamed in source
+but not in the docs (or documented but no longer emitted) silently rots
+that contract.  This script cross-checks the two:
+
+* **emitted names** -- every string constant in ``src/**/*.py`` shaped
+  like a dotted metric name in one of the known families (``astar.``,
+  ``online.``, ``simulator.``, ``engine.``, ``ivm.``, ``slo.``,
+  ``cli.``), collected with :mod:`ast` so multi-line calls and dict-key
+  tallies are seen too.  F-strings contribute patterns: each formatted
+  value becomes ``*`` (``f"ivm.view.{vid}.rounds"`` -> ``ivm.view.*.rounds``).
+* **documented names** -- the first cell of every catalog table row in
+  the docs, split on ``/``; ``<placeholder>`` segments become ``*``.
+
+Failures:
+
+* **undocumented** -- an emitted name no documented pattern matches;
+* **stale** -- a documented name no emitted name matches.
+
+Exit status 0 when the catalog and the source agree, 1 otherwise.
+Run from the repository root (CI does)::
+
+    python tools/check_metric_catalog.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import fnmatch
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+DOCS = ROOT / "docs" / "observability.md"
+
+#: First dotted segments that mark a string as a metric name.
+FAMILIES = ("astar", "online", "simulator", "engine", "ivm", "slo", "cli")
+
+#: A whole-string dotted metric name (``*`` allowed for f-string holes).
+_NAME_RE = re.compile(
+    r"^(?:%s)(\.[A-Za-z0-9_*-]+)+$" % "|".join(FAMILIES)
+)
+
+#: A documented name: backticked first cell of a catalog table row.
+_DOC_ROW_RE = re.compile(r"^\|\s*(`[^|]+?`)\s*\|")
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+
+
+def _display(path: Path) -> str:
+    """A path relative to the repo root when possible (absolute otherwise,
+    e.g. when linting a synthetic tree in tests)."""
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
+def _fstring_pattern(node: ast.JoinedStr) -> str:
+    """An f-string rendered as a glob: formatted values become ``*``."""
+    parts = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            parts.append("*")
+    return "".join(parts)
+
+
+def emitted_names(src: Path = SRC) -> dict[str, list[str]]:
+    """Metric-name-shaped strings in the source tree -> emitting files."""
+    found: dict[str, list[str]] = {}
+    for path in sorted(src.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        rel = _display(path)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                candidate = node.value
+            elif isinstance(node, ast.JoinedStr):
+                candidate = _fstring_pattern(node)
+            else:
+                continue
+            if _NAME_RE.match(candidate):
+                found.setdefault(candidate, []).append(rel)
+    return found
+
+
+def documented_names(docs: Path = DOCS) -> dict[str, int]:
+    """Catalog names (as glob patterns) -> line number in the docs."""
+    names: dict[str, int] = {}
+    for lineno, line in enumerate(docs.read_text().splitlines(), start=1):
+        row = _DOC_ROW_RE.match(line.strip())
+        if row is None:
+            continue
+        for ticked in _BACKTICK_RE.findall(row.group(1)):
+            # ``<id>``-style placeholders match any one segment.
+            pattern = re.sub(r"<[^>]+>", "*", ticked.strip())
+            if _NAME_RE.match(pattern):
+                names.setdefault(pattern, lineno)
+    return names
+
+
+def check(src: Path = SRC, docs: Path = DOCS) -> list[str]:
+    """All catalog violations, as printable messages (empty = clean)."""
+    emitted = emitted_names(src)
+    documented = documented_names(docs)
+    problems = []
+    for name, files in sorted(emitted.items()):
+        # An emitted pattern matches a documented pattern when either
+        # side's globbing covers the other (f-string hole vs. <id>).
+        if not any(
+            fnmatch.fnmatchcase(name, doc) or fnmatch.fnmatchcase(doc, name)
+            for doc in documented
+        ):
+            problems.append(
+                f"undocumented metric {name!r} (emitted in {files[0]}); "
+                f"add it to {_display(docs)}"
+            )
+    for doc, lineno in sorted(documented.items()):
+        if not any(
+            fnmatch.fnmatchcase(name, doc) or fnmatch.fnmatchcase(doc, name)
+            for name in emitted
+        ):
+            problems.append(
+                f"stale catalog entry {doc!r} "
+                f"({_display(docs)}:{lineno}): no source emits it"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--src", default=str(SRC))
+    parser.add_argument("--docs", default=str(DOCS))
+    args = parser.parse_args(argv)
+    problems = check(Path(args.src), Path(args.docs))
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"\n{len(problems)} metric-catalog problem(s); see "
+            f"docs/observability.md 'Metric catalog'",
+            file=sys.stderr,
+        )
+        return 1
+    emitted = len(emitted_names(Path(args.src)))
+    print(f"metric catalog OK: {emitted} emitted name(s) all documented")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
