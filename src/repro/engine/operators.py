@@ -112,11 +112,30 @@ class SeqScan(Operator):
             yield block
 
 
+class PrescannedRows(list):
+    """Delta rows whose scan CPU was already charged once, upstream.
+
+    The shared-scan coordinator (:mod:`repro.ivm.sharedscan`) splits a
+    table's delta window into row batches exactly once per maintenance
+    round, charging ``tuple_cpu`` for the split at that point.  Wrapping
+    the rows in this marker tells :class:`RowSource` -- and the parallel
+    executor's merge -- that the source-stage CPU is prepaid, so fanning
+    the same batch to N subscribing views charges the scan once, not N
+    times.  Behaves as a plain (read-only by convention) list everywhere
+    else.
+    """
+
+    __slots__ = ()
+
+
 class RowSource(Operator):
     """An in-memory relation (e.g. a delta batch) presented as an operator.
 
     No page reads are charged: delta rows arrive already in memory, exactly
-    like the delta tables the paper appends modifications to.
+    like the delta tables the paper appends modifications to.  A
+    :class:`PrescannedRows` batch additionally skips the per-row
+    ``tuple_cpu`` scan charge -- it was charged once by the shared scan
+    that produced the batch.
     """
 
     def __init__(
@@ -126,7 +145,8 @@ class RowSource(Operator):
         alias: str,
         counter: OperationCounter,
     ):
-        self._rows = list(rows)
+        self.precharged = isinstance(rows, PrescannedRows)
+        self._rows = rows if self.precharged else list(rows)
         self.alias = alias
         self.counter = counter
         self.layout = {f"{alias}.{n}": i for i, n in enumerate(names)}
@@ -141,11 +161,19 @@ class RowSource(Operator):
                 )
 
     def __iter__(self) -> Iterator[tuple]:
+        if self.precharged:
+            yield from self._rows
+            return
         for row in self._rows:
             self.counter.charge("tuple_cpu")
             yield row
 
     def blocks(self, block_size: int) -> Iterator[RowBlock]:
+        if self.precharged:
+            # Scan CPU prepaid by the shared delta scan; the profile hook
+            # mirrors charges only, so it stays silent too.
+            yield from iter_blocks(self._rows, self.layout, block_size)
+            return
         charge = self.counter.charge
         prof = self._prof
         for block in iter_blocks(self._rows, self.layout, block_size):

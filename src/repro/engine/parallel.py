@@ -541,7 +541,10 @@ def _fold_stats_into_profile(chain: "ChainPlan", stats: dict, busy_ms: float,
     """
     src_node = chain.source._prof
     rows_in = stats["rows_in"]
-    src_node.add("tuple_cpu", rows_in)
+    if not getattr(chain.source, "precharged", False):
+        # Prescanned delta batches had their scan CPU charged (and
+        # attributed) once by the shared scan, not per consuming chain.
+        src_node.add("tuple_cpu", rows_in)
     src_node.rows_out += rows_in
     src_node.blocks += 1
     for index, stage_in, stage_out in stats["stages"]:
@@ -824,6 +827,11 @@ class ParallelBlockExecutor:
             source_rows: Sequence[tuple] = source.snapshot.row_list()
         else:
             source_rows = source._rows
+        # Workers always seed their tally with the source stage's per-block
+        # tuple_cpu; for a prescanned delta batch that charge was already
+        # paid by the shared scan, so it is backed out at the merge (the
+        # single point where all charging happens).
+        precharged = getattr(source, "precharged", False)
         merge_node = None
         if getattr(source, "_prof", None) is not None:
             from repro.obs import attrib
@@ -834,7 +842,7 @@ class ParallelBlockExecutor:
         pool = self._ensure_pool()
         window = self.workers * SUBMIT_WINDOW_PER_WORKER
         blocks = iter_blocks(source_rows, source.layout, block_size)
-        pending: deque[Future] = deque()
+        pending: deque[tuple[Future, int]] = deque()
         tasks = 0
         task = prepared.task
         make_args = prepared.make_args
@@ -846,14 +854,18 @@ class ParallelBlockExecutor:
                     if block is None:
                         exhausted = True
                         break
-                    pending.append(pool.submit(task, *make_args(block)))
+                    pending.append(
+                        (pool.submit(task, *make_args(block)), len(block))
+                    )
                     tasks += 1
                     obs.gauge_max("engine.parallel.queue_depth", len(pending))
                 if not pending:
                     break
-                future = pending.popleft()
+                future, in_rows = pending.popleft()
                 wait_start = time.perf_counter()
                 out, tally, obs_counts, busy_ms, stats = future.result()
+                if precharged and in_rows:
+                    tally["tuple_cpu"] -= in_rows  # >= 0: seeded with in_rows
                 wait_ms = (time.perf_counter() - wait_start) * 1e3
                 obs.observe("engine.parallel.merge_wait_ms", wait_ms)
                 if self.backend == "process":
@@ -875,7 +887,7 @@ class ParallelBlockExecutor:
                 yield out
         finally:
             obs.counter("engine.parallel.tasks", tasks)
-            for future in pending:
+            for future, _ in pending:
                 future.cancel()
 
     def _run_stream(

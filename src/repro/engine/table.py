@@ -21,6 +21,7 @@ tables in :mod:`repro.ivm.delta` are windows over this history.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
@@ -73,14 +74,23 @@ class ModLog:
 
     Structure: an append-only sequence of :class:`ModEvent`, stored as a
     list of fixed-size chunks so very long histories avoid the large-list
-    reallocation pattern and a future truncation pass can drop whole
-    chunks.  The log enforces the invariant that makes windows O(1): every
-    table modification bumps the LSN by exactly one and appends exactly one
+    reallocation pattern and :meth:`truncate` can drop whole chunks.  The
+    log enforces the invariant that makes windows O(1): every table
+    modification bumps the LSN by exactly one and appends exactly one
     event, so the event with LSN ``L`` lives at log position ``L - 1`` and
     any LSN range maps to a contiguous slice with no searching.
+
+    Truncation: long-lived coordinators register every
+    :class:`~repro.ivm.delta.DeltaTable` over this log as a *subscriber*
+    (weakly referenced -- a garbage-collected reader never pins history).
+    :meth:`truncate` drops leading whole chunks once every live
+    subscriber's ``applied_lsn`` has passed them; LSN addressing is
+    preserved via a base offset, and reads below the truncation point
+    raise.
     """
 
-    __slots__ = ("_chunks", "_chunk_size", "_length")
+    __slots__ = ("_chunks", "_chunk_size", "_length", "_base",
+                 "_subscribers", "__weakref__")
 
     #: Events per chunk.  Large enough that chunk bookkeeping is noise,
     #: small enough that a truncation pass has useful granularity.
@@ -92,13 +102,83 @@ class ModLog:
         self._chunks: list[list[ModEvent]] = []
         self._chunk_size = chunk_size
         self._length = 0
+        #: Events dropped from the front by truncation (always a whole
+        #: number of chunks, so chunk alignment never shifts).
+        self._base = 0
+        #: Live readers exposing ``applied_lsn``; weakly held.
+        self._subscribers: weakref.WeakSet = weakref.WeakSet()
 
     def __len__(self) -> int:
+        """Logical length: the highest LSN ever appended (truncation does
+        not rewind it -- LSN addressing is stable for the log's lifetime)."""
         return self._length
 
     def __iter__(self) -> Iterator[ModEvent]:
+        """Iterate the *retained* events (everything not yet truncated)."""
         for chunk in self._chunks:
             yield from chunk
+
+    @property
+    def truncated_lsn(self) -> int:
+        """Events at or below this LSN have been dropped."""
+        return self._base
+
+    @property
+    def retained(self) -> int:
+        """Number of events still held in memory."""
+        return self._length - self._base
+
+    # -- subscribers ---------------------------------------------------
+
+    def subscribe(self, reader) -> None:
+        """Register a reader (anything exposing ``applied_lsn``) whose
+        unprocessed window must survive truncation.  Weakly referenced."""
+        self._subscribers.add(reader)
+
+    def unsubscribe(self, reader) -> None:
+        """Drop a reader's truncation pin (no-op when not subscribed)."""
+        self._subscribers.discard(reader)
+
+    def subscriber_count(self) -> int:
+        """Number of live subscribers."""
+        return len(self._subscribers)
+
+    def safe_truncation_lsn(self) -> int:
+        """The highest LSN every live subscriber has already applied.
+
+        With no subscribers the whole history is reclaimable.
+        """
+        floor = self._length
+        for reader in self._subscribers:
+            applied = reader.applied_lsn
+            if applied < floor:
+                floor = applied
+        return floor
+
+    def truncate(self, upto_lsn: int | None = None) -> int:
+        """Drop leading whole chunks at or below ``upto_lsn``.
+
+        ``upto_lsn`` defaults to :meth:`safe_truncation_lsn`, and is
+        clamped to it -- a caller can never truncate history a live
+        subscriber still needs.  Only whole chunks are released (the
+        offset arithmetic stays chunk-aligned); returns the number of
+        events dropped.
+        """
+        limit = self.safe_truncation_lsn()
+        upto = limit if upto_lsn is None else min(upto_lsn, limit)
+        dropped = 0
+        cs = self._chunk_size
+        while (
+            self._chunks
+            and len(self._chunks[0]) == cs
+            and self._base + cs <= upto
+        ):
+            del self._chunks[0]
+            self._base += cs
+            dropped += cs
+        return dropped
+
+    # -- storage -------------------------------------------------------
 
     def append(self, event: ModEvent) -> None:
         """Append the event for the next LSN (enforces the density invariant)."""
@@ -117,33 +197,48 @@ class ModLog:
 
         O(window length): the range maps straight to log positions
         ``[lsn_from, lsn_to)``; no scan over the rest of the history.
+        Windows reaching below the truncation point raise.
         """
         if not 0 <= lsn_from <= lsn_to <= self._length:
             raise ExecutionError(
                 f"log window ({lsn_from}, {lsn_to}] outside [0, {self._length}]"
             )
+        if lsn_from < self._base:
+            raise ExecutionError(
+                f"log window ({lsn_from}, {lsn_to}] reaches below the "
+                f"truncation point {self._base}; history was reclaimed"
+            )
         if lsn_from == lsn_to:
             return []
         cs = self._chunk_size
-        first, last = lsn_from // cs, (lsn_to - 1) // cs
+        lo, hi = lsn_from - self._base, lsn_to - self._base
+        first, last = lo // cs, (hi - 1) // cs
         if first == last:
-            return self._chunks[first][lsn_from % cs : (lsn_to - 1) % cs + 1]
-        out = self._chunks[first][lsn_from % cs :]
+            return self._chunks[first][lo % cs : (hi - 1) % cs + 1]
+        out = self._chunks[first][lo % cs :]
         for i in range(first + 1, last):
             out.extend(self._chunks[i])
-        out.extend(self._chunks[last][: (lsn_to - 1) % cs + 1])
+        out.extend(self._chunks[last][: (hi - 1) % cs + 1])
         return out
 
     def __getitem__(self, position: int) -> ModEvent:
         """The event at zero-based log position (= LSN - 1)."""
         if not 0 <= position < self._length:
             raise IndexError(f"log position {position} outside [0, {self._length})")
-        return self._chunks[position // self._chunk_size][
-            position % self._chunk_size
+        if position < self._base:
+            raise IndexError(
+                f"log position {position} below truncation point {self._base}"
+            )
+        offset = position - self._base
+        return self._chunks[offset // self._chunk_size][
+            offset % self._chunk_size
         ]
 
     def __repr__(self) -> str:
-        return f"ModLog(events={self._length}, chunks={len(self._chunks)})"
+        return (
+            f"ModLog(events={self._length}, chunks={len(self._chunks)}, "
+            f"truncated={self._base})"
+        )
 
 
 class Table:

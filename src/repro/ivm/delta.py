@@ -48,6 +48,19 @@ class DeltaTable:
         self.applied_lsn = table.current_lsn
         #: LSN up to which events have been pulled into the window.
         self.seen_lsn = table.current_lsn
+        # Pin the unprocessed window against log truncation: as long as
+        # this delta table is alive (and not closed), history above
+        # ``applied_lsn`` survives ``log.truncate()``.  The registration
+        # is weak, so a garbage-collected delta never pins history.
+        self.log.subscribe(self)
+
+    def close(self) -> None:
+        """Release this delta's truncation pin on the shared log.
+
+        Idempotent.  Call when the owning view is dropped; afterwards the
+        log may reclaim the history this window was holding.
+        """
+        self.log.unsubscribe(self)
 
     @property
     def size(self) -> int:

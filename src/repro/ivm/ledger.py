@@ -135,9 +135,40 @@ class ViewLedger:
         }
 
 
-def ledger_summary(ledgers: Iterable[ViewLedger], model: CostModel) -> str:
-    """Fixed-width per-view cost table (companion to ``slo_summary``)."""
+#: Row cap for rendered ledger tables; at fleet scale a thousand-row dump
+#: helps nobody, so the costliest views lead and the rest aggregate.
+DEFAULT_SUMMARY_LIMIT = 50
+
+
+def ledger_summary(
+    ledgers: Iterable[ViewLedger],
+    model: CostModel,
+    limit: int | None = DEFAULT_SUMMARY_LIMIT,
+) -> str:
+    """Fixed-width per-view cost table (companion to ``slo_summary``).
+
+    Under ``limit`` rows the table lists every view in registration
+    order; above it, the ``limit`` costliest views (by simulated cost)
+    lead and one aggregate row sums the remainder.  ``limit=None``
+    renders everything.
+    """
     rows = [ledger.summary(model) for ledger in ledgers]
+    remainder = None
+    if limit is not None and len(rows) > limit:
+        rows.sort(key=lambda r: (-r["sim_ms"], r["view"]))
+        rest = rows[limit:]
+        rows = rows[:limit]
+        remainder = {
+            "view": f"(+{len(rest)} more views)",
+            "rounds": sum(r["rounds"] for r in rest),
+            "flushes": sum(r["flushes"] for r in rest),
+            "mods": sum(r["mods"] for r in rest),
+            "sim_ms": sum(r["sim_ms"] for r in rest),
+            "join_ms": sum(r["join_ms"] for r in rest),
+            "agg_ms": sum(r["agg_ms"] for r in rest),
+            "backlog": sum(r["backlog"] for r in rest),
+        }
+        rows.append(remainder)
     width = max([14] + [len(r["view"]) for r in rows])
     lines = [
         f"{'view':<{width}s} {'rounds':>7s} {'flushes':>8s} {'mods':>8s} "

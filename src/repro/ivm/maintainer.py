@@ -136,22 +136,40 @@ class ViewMaintainer:
         :class:`~repro.core.policies.PolicyError` when the policy's action
         leaves a full post-action state (constraint violation).
         """
+        return self.execute_planned(*self.plan_step(t))
+
+    def refresh(self, t: int | None = None) -> StepRecord:
+        """Force the view up to date (the paper's refresh request)."""
+        return self.execute_planned(*self.plan_refresh(t), forced=True)
+
+    def plan_step(
+        self, t: int | None = None
+    ) -> tuple[int, tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+        """The ingest-and-decide half of :meth:`step`, without executing.
+
+        Returns ``(t, arrivals, pre_state, action)`` for
+        :meth:`execute_planned`.  The multi-view coordinator plans every
+        view first so one shared scan per table can cover all the planned
+        windows, then executes.
+        """
         self._clock = self._clock + 1 if t is None else t
         t = self._clock
         arrivals = self._pull_all()
         self.policy.observe(t, arrivals)
         pre = self.pre_state()
         action = tuple(int(x) for x in self.policy.decide(t, pre))
-        return self._execute(t, arrivals, pre, action)
+        return t, arrivals, pre, action
 
-    def refresh(self, t: int | None = None) -> StepRecord:
-        """Force the view up to date (the paper's refresh request)."""
+    def plan_refresh(
+        self, t: int | None = None
+    ) -> tuple[int, tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+        """Like :meth:`plan_step`, but the action flushes everything."""
         self._clock = self._clock + 1 if t is None else t
         t = self._clock
         arrivals = self._pull_all()
         self.policy.observe(t, arrivals)
         pre = self.pre_state()
-        return self._execute(t, arrivals, pre, pre, forced=True)
+        return t, arrivals, pre, pre
 
     def _pull_all(self) -> tuple[int, ...]:
         """Ingest new modifications on every base table; return the
@@ -164,14 +182,23 @@ class ViewMaintainer:
 
     # ------------------------------------------------------------------
 
-    def _execute(
+    def execute_planned(
         self,
         t: int,
         arrivals: tuple[int, ...],
         pre: tuple[int, ...],
         action: tuple[int, ...],
         forced: bool = False,
+        shared=None,
     ) -> StepRecord:
+        """Execute one planned round (the second half of :meth:`step`).
+
+        ``shared`` is an already-run
+        :class:`~repro.ivm.sharedscan.SharedScanRound` covering this
+        round's planned windows; when given, per-alias flushes consume
+        its pre-scanned batches (and skip fingerprint-suppressed no-op
+        windows entirely) instead of re-reading the mod log.
+        """
         for alias in self.view.spec.aliases:
             if alias not in self.aliases and self.view.deltas[alias].size:
                 raise PolicyError(
@@ -192,6 +219,49 @@ class ViewMaintainer:
         recorder = obs.get_recorder()
         predicted = self.predicted_refresh_cost(action)
         counter = self.view.database.counter
+        if not any(action):
+            # Zero-work round: nothing to flush, so skip the cost window,
+            # wall timer, attribution context, and span machinery -- at
+            # fleet scale most rounds are idle and this path is what keeps
+            # them cheap.  The ledger entry and per-view metric series are
+            # still emitted (with zero values) so observability stays
+            # gap-free.
+            entry = RoundEntry(
+                t=t,
+                arrivals=arrivals,
+                pre_state=pre,
+                action=action,
+                forced=forced,
+                predicted_ms=predicted,
+                sim_ms=0.0,
+                wall_ms=0.0,
+                backlog=sum(post),
+                charges={},
+            )
+            self.ledger.record(entry)
+            if recorder is not None:
+                vid = self.ledger.metric_id
+                recorder.counter(f"ivm.view.{vid}.rounds")
+                recorder.counter(f"ivm.view.{vid}.flushes", 0)
+                recorder.counter(f"ivm.view.{vid}.mods_applied", 0)
+                recorder.counter(f"ivm.view.{vid}.cost_ms", 0.0)
+                recorder.gauge(f"ivm.view.{vid}.backlog", entry.backlog)
+                recorder.observe(f"ivm.view.{vid}.round_ms", 0.0)
+                if not any(pre):
+                    recorder.counter("ivm.skip.empty")
+            self.policy.record_action(t, action, predicted)
+            record = StepRecord(
+                t=t,
+                arrivals=arrivals,
+                pre_state=pre,
+                action=action,
+                predicted_cost=predicted,
+                actual_cost_ms=0.0,
+            )
+            self.log.steps.append(record)
+            if self.verify:
+                self._verify_consistency()
+            return record
         charges_before = counter.snapshot()
         wall_start = time.perf_counter()
         with counter.window() as window:
@@ -204,8 +274,19 @@ class ViewMaintainer:
                 ):
                     if not k:
                         continue
+                    batch = None
+                    if shared is not None:
+                        batch = shared.batch_for(self.view, alias, k)
+                        if batch.suppressed:
+                            # The fingerprint proved every event in the
+                            # window a no-op for this view: advance the
+                            # delta without touching the join pipeline.
+                            self.view.deltas[alias].take(k)
+                            if recorder is not None:
+                                recorder.counter("ivm.skip.fingerprint")
+                            continue
                     if recorder is None:
-                        apply_batch(self.view, alias, k)
+                        apply_batch(self.view, alias, k, batch=batch)
                         continue
                     # Per-alias flush: record batch size k against both the
                     # model's prediction f_i(k) and the engine-measured cost
@@ -214,7 +295,7 @@ class ViewMaintainer:
                         with obs.trace(
                             "ivm.flush", alias=alias, k=k, forced=forced
                         ) as span:
-                            apply_batch(self.view, alias, k)
+                            apply_batch(self.view, alias, k, batch=batch)
                         span.set(sim_ms=flush_window.elapsed_ms)
                     recorder.counter("ivm.flushes")
                     recorder.observe("ivm.flush.batch_size", k)

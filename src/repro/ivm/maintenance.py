@@ -45,8 +45,14 @@ def _flat_rebased_spec(view: MaterializedView, alias: str) -> QuerySpec:
     )
 
 
-def apply_batch(view: MaterializedView, alias: str, k: int) -> None:
-    """Propagate the ``k`` oldest pending modifications of ``alias``."""
+def apply_batch(view: MaterializedView, alias: str, k: int, batch=None) -> None:
+    """Propagate the ``k`` oldest pending modifications of ``alias``.
+
+    When ``batch`` (a :class:`~repro.ivm.sharedscan.SharedBatch`) is
+    given, the deleted/inserted row split was already produced -- and its
+    scan cost already charged -- by the round's shared table scan, so the
+    per-view work here is just the delta-join and content fold.
+    """
     if alias not in view.deltas:
         raise ExecutionError(
             f"view {view.name!r} has no base table aliased {alias!r}"
@@ -54,14 +60,23 @@ def apply_batch(view: MaterializedView, alias: str, k: int) -> None:
     if k == 0:
         return
     delta = view.deltas[alias]
-    events = delta.peek(k)
-    if len(events) < k:
-        raise ExecutionError(
-            f"view {view.name!r}: asked to process {k} events from "
-            f"{alias!r} but only {len(events)} pending"
-        )
-    with obs.trace("ivm.apply_batch", alias=alias, k=k):
-        _apply_events(view, alias, events)
+    if batch is not None:
+        if batch.events != k:
+            raise ExecutionError(
+                f"view {view.name!r}: shared batch covers {batch.events} "
+                f"events but {k} were planned for {alias!r}"
+            )
+        with obs.trace("ivm.apply_batch", alias=alias, k=k):
+            _propagate(view, alias, batch.deleted, batch.inserted)
+    else:
+        events = delta.peek(k)
+        if len(events) < k:
+            raise ExecutionError(
+                f"view {view.name!r}: asked to process {k} events from "
+                f"{alias!r} but only {len(events)} pending"
+            )
+        with obs.trace("ivm.apply_batch", alias=alias, k=k):
+            _apply_events(view, alias, events)
     obs.counter("ivm.batches_applied")
     obs.counter("ivm.modifications_applied", k)
     delta.take(k)
@@ -83,7 +98,11 @@ def _apply_events(view: MaterializedView, alias: str, events) -> None:
             deleted.append(event.old_values)
         if event.new_values is not None:
             inserted.append(event.new_values)
+    _propagate(view, alias, deleted, inserted)
 
+
+def _propagate(view, alias: str, deleted, inserted) -> None:
+    """Run the rebased delta-join over split row batches and fold results."""
     # Other base tables are read at the state the view has incorporated.
     snapshot_lsns = {
         other: d.applied_lsn

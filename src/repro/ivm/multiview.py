@@ -9,9 +9,23 @@ database, each with its **own** scheduling policy and response-time
 constraint, advancing them under a single shared clock.
 
 Delta tables are per-view (two views at different staleness read the same
-base table at different LSNs -- the MVCC substrate makes that free), so
-the coordinator's job is bookkeeping: one ``step()`` pulls every view's
-deltas, consults every policy, and aggregates cost accounting.
+base table at different LSNs -- the MVCC substrate makes that free), but
+maintenance rounds are **table-at-a-time**: one ``step()`` plans every
+view first (pull deltas, consult policies), then runs one shared blocked
+scan per base table covering all the planned delta windows
+(:mod:`repro.ivm.sharedscan`), and fans the pre-scanned batches out to
+each subscriber's delta-join.  The scan's cost is charged once at the
+coordinator instead of once per view, which is where the fleet-scale
+economics come from; per-view join and fold work stays charged inside
+each view's own cost window at the fan-out point, so the per-view ledger
+and ``ivm.view.*`` metrics are unchanged.  Construct with
+``shared_scans=False`` (or pass ``shared=False`` per call) for the old
+view-at-a-time rounds -- contents are identical either way.
+
+After each round the coordinator asks every touched
+:class:`~repro.engine.table.ModLog` to truncate history all subscribing
+views have incorporated, so a long-running fleet does not accumulate an
+unbounded modification log.
 
 For notification-driven refresh semantics on top of the same machinery,
 see :mod:`repro.pubsub`.
@@ -22,13 +36,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from repro import obs
 from repro.core.costfuncs import CostFunction
 from repro.core.policies import Policy
 from repro.engine.database import Database
 from repro.engine.query import QuerySpec
-from repro.ivm.ledger import ViewLedger
+from repro.ivm.ledger import DEFAULT_SUMMARY_LIMIT, ViewLedger
 from repro.ivm.ledger import ledger_summary as _render_ledger_summary
 from repro.ivm.maintainer import StepRecord, ViewMaintainer
+from repro.ivm.sharedscan import SharedScanRound
 from repro.ivm.view import MaterializedView
 
 
@@ -47,8 +63,13 @@ class ViewConfig:
 class MaintenanceCoordinator:
     """Hosts several independently scheduled views over one database."""
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database, shared_scans: bool = True):
         self.database = database
+        #: Default round mode; ``step``/``refresh`` accept a per-call
+        #: override.  Shared and independent rounds produce identical view
+        #: contents -- only scan-cost attribution (and the fingerprint
+        #: no-op suppression, shared mode only) differ.
+        self.shared_scans = shared_scans
         self._maintainers: dict[str, ViewMaintainer] = {}
         self._clock = -1
 
@@ -67,10 +88,30 @@ class MaintenanceCoordinator:
         return view
 
     def remove_view(self, name: str) -> None:
-        """Drop a registered view."""
-        if name not in self._maintainers:
+        """Drop a registered view, releasing everything it held.
+
+        The view's delta subscriptions on the shared mod logs are closed
+        (letting the logs truncate history only this view still pinned),
+        and its ``ivm.view.<id>.*`` metric series are removed from the
+        installed recorder so dashboards over a churning fleet do not
+        accumulate dead series.  The maintainer object itself (ledger
+        included) is dropped; callers wanting a post-mortem should grab
+        :meth:`maintainer` first.
+        """
+        maintainer = self._maintainers.pop(name, None)
+        if maintainer is None:
             raise KeyError(f"no view {name!r}")
-        del self._maintainers[name]
+        view = maintainer.view
+        logs = {id(d.log): d.log for d in view.deltas.values()}
+        view.close()
+        dropped = sum(log.truncate() for log in logs.values())
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            if dropped:
+                recorder.counter("ivm.coordinator.log_truncated", dropped)
+            recorder.registry.remove_prefix(
+                f"ivm.view.{maintainer.ledger.metric_id}."
+            )
 
     @property
     def views(self) -> tuple[str, ...]:
@@ -88,27 +129,91 @@ class MaintenanceCoordinator:
     # Clock
     # ------------------------------------------------------------------
 
-    def step(self, t: int | None = None) -> dict[str, StepRecord]:
+    def step(
+        self, t: int | None = None, shared: bool | None = None
+    ) -> dict[str, StepRecord]:
         """Advance every view one time step; returns per-view records.
 
-        Call after applying the step's base-table modifications.
+        Call after applying the step's base-table modifications.  With
+        shared scans (the default) the round is table-at-a-time: every
+        view's planned window is collected first, each base table's delta
+        log is scanned once for all of them, and the batches fan out.
         """
         self._clock = self._clock + 1 if t is None else t
-        return {
-            name: maintainer.step(self._clock)
+        if not (self.shared_scans if shared is None else shared):
+            return {
+                name: maintainer.step(self._clock)
+                for name, maintainer in self._maintainers.items()
+            }
+        plans = {
+            name: maintainer.plan_step(self._clock)
             for name, maintainer in self._maintainers.items()
         }
+        return self._execute_shared(plans, forced=False)
 
     def refresh(
-        self, names: Sequence[str] | None = None, t: int | None = None
+        self,
+        names: Sequence[str] | None = None,
+        t: int | None = None,
+        shared: bool | None = None,
     ) -> dict[str, StepRecord]:
         """Force the named views (default: all) fully up to date."""
         self._clock = self._clock + 1 if t is None else t
         targets = tuple(names) if names is not None else self.views
+        if not (self.shared_scans if shared is None else shared):
+            records = {}
+            for name in targets:
+                records[name] = self.maintainer(name).refresh(self._clock)
+            return records
+        plans = {
+            name: self.maintainer(name).plan_refresh(self._clock)
+            for name in targets
+        }
+        return self._execute_shared(plans, forced=True)
+
+    def _execute_shared(
+        self, plans: dict, forced: bool
+    ) -> dict[str, StepRecord]:
+        """Run one table-at-a-time round over already-planned views.
+
+        The shared scan's own cost (one blocked pass per table, plus any
+        fingerprint comparisons) is metered in its own window and charged
+        to the coordinator -- it appears in ``ivm.coordinator.scan_ms``,
+        not in any view's ledger.  Each view's delta-join then runs inside
+        that view's own cost window exactly as in independent rounds.
+        """
+        round_ = SharedScanRound(self.database)
+        for name, (_, _, _, action) in plans.items():
+            maintainer = self._maintainers[name]
+            for alias, k in zip(maintainer.aliases, action):
+                if k:
+                    round_.request(
+                        maintainer.view.deltas[alias],
+                        k,
+                        maintainer.view.referenced_columns(alias),
+                    )
+        with self.database.counter.window() as window:
+            round_.run()
+        obs.counter("ivm.coordinator.rounds")
+        obs.observe("ivm.coordinator.scan_ms", window.elapsed_ms)
         records = {}
-        for name in targets:
-            records[name] = self.maintainer(name).refresh(self._clock)
+        for name, (t, arrivals, pre, action) in plans.items():
+            records[name] = self._maintainers[name].execute_planned(
+                t, arrivals, pre, action, forced=forced, shared=round_
+            )
+        self._truncate_logs()
         return records
+
+    def _truncate_logs(self) -> None:
+        """Reclaim mod-log history every subscribing view has applied."""
+        logs = {
+            id(d.log): d.log
+            for m in self._maintainers.values()
+            for d in m.view.deltas.values()
+        }
+        dropped = sum(log.truncate() for log in logs.values())
+        if dropped:
+            obs.counter("ivm.coordinator.log_truncated", dropped)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -143,11 +248,17 @@ class MaintenanceCoordinator:
             for name, m in self._maintainers.items()
         }
 
-    def ledger_summary(self) -> str:
-        """Fixed-width per-view cost table (companion to ``slo_summary``)."""
+    def ledger_summary(self, limit: int | None = DEFAULT_SUMMARY_LIMIT) -> str:
+        """Fixed-width per-view cost table (companion to ``slo_summary``).
+
+        At fleet scale the table is capped at ``limit`` rows (costliest
+        views first, with an aggregate row for the remainder); pass
+        ``limit=None`` for the full table.
+        """
         return _render_ledger_summary(
             (m.ledger for m in self._maintainers.values()),
             self.database.counter.model,
+            limit=limit,
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,336 @@
+"""Shared delta scans: one blocked ModLog pass per table per round.
+
+A fleet of views over the same base table all window the same shared
+:class:`~repro.engine.table.ModLog`; maintaining them view-at-a-time
+re-reads (and re-charges) the same delta events once per view.  This
+module is the table-at-a-time alternative the multi-view coordinator
+uses: collect every view's requested delta window per table, merge the
+overlapping windows into covering intervals, scan and split each
+interval into deleted/inserted row batches **once** -- charging the
+scan's ``tuple_cpu`` a single time, at the coordinator -- then hand each
+view its slice wrapped in :class:`~repro.engine.operators.PrescannedRows`
+so the per-view delta-joins skip the source-scan charge the shared scan
+prepaid.
+
+The scan also owns **no-op fingerprinting**: for a view whose
+:meth:`~repro.ivm.view.MaterializedView.referenced_columns` over an
+alias is known, a window consisting solely of update events whose old
+and new rows agree on every referenced column provably leaves the view
+unchanged (the derived insert and delete batches are identical multisets
+over the columns the view consumes, so they cancel).  Fingerprints are
+computed once per distinct ``(window, column signature)`` -- charged as
+one ``compares`` per event at that point -- and shared across every view
+with the same signature, so dimension churn does not cascade into
+thousands of identical checks.
+
+Cost attribution: everything charged here (interval split ``tuple_cpu``,
+fingerprint ``compares``) is coordinator overhead, charged outside any
+view's cost window; per-view join and fold work stays charged inside
+each view's own window at the fan-out point, keeping the per-view ledger
+and ``ivm.view.*`` metrics correct.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro import obs
+from repro.engine.database import Database
+from repro.engine.errors import ExecutionError
+from repro.engine.operators import PrescannedRows
+from repro.engine.table import Table
+
+#: Scan granularity when the database runs in row mode (``block_size``
+#: None); charges are block-size independent either way.
+_DEFAULT_SCAN_BLOCK = 4096
+
+
+@dataclass(frozen=True)
+class SharedBatch:
+    """One view's slice of a table's shared delta scan.
+
+    ``deleted`` / ``inserted`` are the split row batches, pre-charged by
+    the scan (:class:`PrescannedRows`); when ``suppressed`` is true the
+    fingerprint proved the whole window a no-op for the requesting view
+    and the row batches are empty -- the caller should advance the
+    view's ``applied_lsn`` without running its delta-join.
+    """
+
+    deleted: PrescannedRows
+    inserted: PrescannedRows
+    events: int
+    suppressed: bool
+
+
+class _Interval:
+    """One merged, scanned LSN interval of a table's delta window."""
+
+    __slots__ = ("lo", "hi", "events", "old_rows", "new_rows", "upd_prefix")
+
+    def __init__(self, lo: int, hi: int, events: list):
+        self.lo = lo
+        self.hi = hi
+        self.events = events
+        #: Per-event old/new row values (None where not applicable),
+        #: aligned with ``events`` so any subwindow is a plain slice.
+        self.old_rows: list[tuple | None] = []
+        self.new_rows: list[tuple | None] = []
+        #: ``upd_prefix[i]`` = number of update events among the first
+        #: ``i`` -- an O(1) "is this subwindow all updates?" pre-screen.
+        self.upd_prefix: list[int] = [0]
+
+
+class _TableScan:
+    """Scan state for one base table within one maintenance round."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.log = table.history
+        self._requests: list[tuple[int, int]] = []
+        #: (lo, hi, refcols) triples whose fingerprints :meth:`run`
+        #: precomputes -- so the compare charges land in the
+        #: coordinator's scan window, not the first subscriber's ledger.
+        self._pending_prints: list[tuple[int, int, frozenset]] = []
+        self._intervals: list[_Interval] = []
+        self._starts: list[int] = []
+        self._counter = None
+        # Shared across subscribing views: assembled (lo, hi) row slices
+        # and (lo, hi, signature) fingerprint verdicts.
+        self._batches: dict[tuple[int, int], tuple[PrescannedRows, PrescannedRows]] = {}
+        self._fingerprints: dict[tuple, bool] = {}
+        self._positions: dict[frozenset, tuple[int, ...]] = {}
+
+    def add_request(
+        self, lo: int, hi: int, refcols: frozenset[str] | None = None
+    ) -> None:
+        self._requests.append((lo, hi))
+        if refcols is not None:
+            self._pending_prints.append((lo, hi, refcols))
+
+    def run(self, counter, block_size: int) -> tuple[int, int]:
+        """Scan the merged request intervals once; returns (events, rows).
+
+        Charges ``tuple_cpu`` per split row -- exactly what one
+        :class:`~repro.engine.operators.RowSource` pass over the same
+        window would have charged -- once, regardless of how many views
+        subscribe to the window.
+        """
+        self._counter = counter
+        events_total = rows_total = 0
+        for lo, hi in _merge_intervals(self._requests):
+            interval = _Interval(lo, hi, self.log.window(lo, hi))
+            old_append = interval.old_rows.append
+            new_append = interval.new_rows.append
+            prefix = interval.upd_prefix
+            updates = 0
+            events = interval.events
+            for start in range(0, len(events), block_size):
+                produced = 0
+                for event in events[start : start + block_size]:
+                    old_append(event.old_values)
+                    new_append(event.new_values)
+                    if event.old_values is not None:
+                        produced += 1
+                    if event.new_values is not None:
+                        produced += 1
+                    if event.kind == "update":
+                        updates += 1
+                    prefix.append(updates)
+                if produced:
+                    counter.charge("tuple_cpu", produced)
+                rows_total += produced
+            events_total += len(events)
+            self._intervals.append(interval)
+        self._intervals.sort(key=lambda iv: iv.lo)
+        self._starts = [iv.lo for iv in self._intervals]
+        for lo, hi, refcols in self._pending_prints:
+            interval = self._containing(lo, hi)
+            self._fingerprint(interval, lo - interval.lo, hi - interval.lo,
+                              refcols)
+        return events_total, rows_total
+
+    def _containing(self, lo: int, hi: int) -> _Interval:
+        index = bisect_right(self._starts, lo) - 1
+        if index >= 0:
+            interval = self._intervals[index]
+            if interval.lo <= lo and hi <= interval.hi:
+                return interval
+        raise ExecutionError(
+            f"window ({lo}, {hi}] of {self.table.name} was not requested "
+            f"before the shared scan ran"
+        )
+
+    def batch(
+        self, lo: int, hi: int, refcols: frozenset[str] | None
+    ) -> SharedBatch:
+        """The (lo, hi] slice, fingerprinted against ``refcols``."""
+        interval = self._containing(lo, hi)
+        a, b = lo - interval.lo, hi - interval.lo
+        if refcols is not None and self._fingerprint(interval, a, b, refcols):
+            return SharedBatch(
+                deleted=PrescannedRows(),
+                inserted=PrescannedRows(),
+                events=b - a,
+                suppressed=True,
+            )
+        cached = self._batches.get((lo, hi))
+        if cached is None:
+            deleted = PrescannedRows(
+                row for row in interval.old_rows[a:b] if row is not None
+            )
+            inserted = PrescannedRows(
+                row for row in interval.new_rows[a:b] if row is not None
+            )
+            cached = (deleted, inserted)
+            self._batches[(lo, hi)] = cached
+        return SharedBatch(
+            deleted=cached[0],
+            inserted=cached[1],
+            events=b - a,
+            suppressed=False,
+        )
+
+    def _fingerprint(
+        self, interval: _Interval, a: int, b: int, refcols: frozenset[str]
+    ) -> bool:
+        """Whether events ``[a, b)`` of the interval are all no-op updates.
+
+        A window containing any insert or delete can never be a no-op;
+        that pre-screen is O(1) off the update-prefix counts and charges
+        nothing.  The per-column comparison over all-update windows is
+        computed (and its ``compares`` charged) once per distinct
+        ``(window, signature)`` and memoized for every other view sharing
+        the signature.
+        """
+        prefix = interval.upd_prefix
+        if prefix[b] - prefix[a] != b - a:
+            return False
+        key = (interval.lo + a, interval.lo + b, refcols)
+        verdict = self._fingerprints.get(key)
+        if verdict is None:
+            positions = self._positions.get(refcols)
+            if positions is None:
+                schema = self.table.schema
+                positions = tuple(
+                    sorted(schema.position(column) for column in refcols)
+                )
+                self._positions[refcols] = positions
+            verdict = True
+            for i in range(a, b):
+                old = interval.old_rows[i]
+                new = interval.new_rows[i]
+                if any(old[p] != new[p] for p in positions):
+                    verdict = False
+                    break
+            if self._counter is not None and b > a:
+                self._counter.charge("compares", b - a)
+            self._fingerprints[key] = verdict
+        return verdict
+
+
+def _merge_intervals(requests: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Overlapping/adjacent (lo, hi] windows merged into covering spans.
+
+    Only requested LSNs are covered -- a hole nobody asked for is neither
+    scanned nor charged.
+    """
+    merged: list[tuple[int, int]] = []
+    for lo, hi in sorted(requests):
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class SharedScanRound:
+    """One maintenance round's shared delta scans, across all tables.
+
+    Protocol (driven by the coordinator): every view's planned windows
+    are :meth:`request`-ed first, :meth:`run` scans each table once, then
+    each view's executor pulls its :meth:`batch_for` slices.
+    """
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._scans: dict[str, _TableScan] = {}
+        self._ran = False
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """Names of the tables with at least one requested window."""
+        return tuple(sorted(self._scans))
+
+    def request(
+        self, delta, k: int, refcols: frozenset[str] | None = None
+    ) -> None:
+        """Register one view's planned window of ``k`` events on a delta.
+
+        ``refcols`` is the requesting view's column signature
+        (:meth:`~repro.ivm.view.MaterializedView.referenced_columns`);
+        passing it lets :meth:`run` precompute the window's no-op
+        fingerprint inside the coordinator's cost window, keeping the
+        compare charges out of every view's ledger.
+        """
+        if k <= 0:
+            return
+        if self._ran:
+            raise ExecutionError("shared scan already ran; requests closed")
+        if k > delta.size:
+            raise ExecutionError(
+                f"requested {k} events from {delta.table.name} but only "
+                f"{delta.size} pending"
+            )
+        scan = self._scans.get(delta.table.name)
+        if scan is None:
+            scan = _TableScan(delta.table)
+            self._scans[delta.table.name] = scan
+        scan.add_request(delta.applied_lsn, delta.applied_lsn + k, refcols)
+
+    def run(self) -> int:
+        """Scan every requested table once; returns the table count.
+
+        Charges land on the database's shared counter (the caller decides
+        whether to meter them in a window); ``ivm.coordinator.scan.*``
+        counters record the scan volume.
+        """
+        if self._ran:
+            raise ExecutionError("shared scan already ran")
+        self._ran = True
+        counter = self.database.counter
+        block_size = self.database.block_size or _DEFAULT_SCAN_BLOCK
+        events_total = rows_total = 0
+        for scan in self._scans.values():
+            events, rows = scan.run(counter, block_size)
+            events_total += events
+            rows_total += rows
+        if self._scans:
+            obs.counter("ivm.coordinator.scan.tables", len(self._scans))
+        if events_total:
+            obs.counter("ivm.coordinator.scan.events", events_total)
+        if rows_total:
+            obs.counter("ivm.coordinator.scan.rows", rows_total)
+        return len(self._scans)
+
+    def batch_for(self, view, alias: str, k: int) -> SharedBatch:
+        """The pre-scanned batch for one view's planned flush."""
+        if not self._ran:
+            raise ExecutionError("shared scan has not run yet")
+        delta = view.deltas[alias]
+        scan = self._scans.get(delta.table.name)
+        if scan is None:
+            raise ExecutionError(
+                f"no shared scan covers {delta.table.name}; the window "
+                f"was never requested"
+            )
+        return scan.batch(
+            delta.applied_lsn,
+            delta.applied_lsn + k,
+            view.referenced_columns(alias),
+        )
+
+    def __repr__(self) -> str:
+        state = "ran" if self._ran else "pending"
+        return f"SharedScanRound(tables={list(self._scans)}, {state})"

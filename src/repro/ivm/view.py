@@ -50,7 +50,18 @@ class MaterializedView:
         self.is_aggregate = spec.aggregate is not None
         self._rows: Counter | None = None
         self._groups: dict[tuple, AggregateState] | None = None
+        self._refcols: dict[str, frozenset[str] | None] = {}
         self._initialize()
+
+    def close(self) -> None:
+        """Release the view's delta subscriptions on the shared mod logs.
+
+        Idempotent.  After closing, the base tables' histories may be
+        truncated past whatever this view had not yet applied; the view's
+        contents stay readable but it must not be maintained further.
+        """
+        for delta in self.deltas.values():
+            delta.close()
 
     # ------------------------------------------------------------------
     # Contents
@@ -193,6 +204,68 @@ class MaterializedView:
                             f"view {self.name!r}: negative multiplicity for "
                             f"{row!r} -- delta propagation bug"
                         )
+
+    # ------------------------------------------------------------------
+    # Delta sensitivity (used by shared-scan no-op suppression)
+    # ------------------------------------------------------------------
+
+    def referenced_columns(self, alias: str) -> frozenset[str] | None:
+        """Bare columns of ``alias`` this view's contents can depend on.
+
+        Returns ``None`` when every column matters (suppression is then
+        impossible): SPJ views without a projection expose whole rows, and
+        ordered/limited/distinct specs are treated conservatively.  An
+        update event whose old and new rows agree on every returned column
+        provably leaves the view unchanged -- the derived insert and
+        delete batches are identical multisets over the columns the view
+        consumes, so they cancel.  Cached per alias.
+        """
+        try:
+            return self._refcols[alias]
+        except KeyError:
+            pass
+        cols = self._referenced_columns(alias)
+        self._refcols[alias] = cols
+        return cols
+
+    def _referenced_columns(self, alias: str) -> frozenset[str] | None:
+        spec = self.spec
+        if spec.limit is not None or spec.distinct or spec.order_by:
+            return None
+        if spec.aggregate is None and spec.projection is None:
+            return None
+        table = self.database.table(spec.table_of(alias))
+        own = set(table.schema.names)
+        referenced: set[str] = set()
+
+        def add(name: str) -> None:
+            # Qualified names must name this alias; bare names are kept
+            # whenever they *could* resolve here (over-approximating the
+            # dependency is safe -- it only disables suppression).
+            qualifier, dot, bare = name.partition(".")
+            if dot:
+                if qualifier == alias:
+                    referenced.add(bare)
+            elif name in own:
+                referenced.add(name)
+
+        for join in spec.joins:
+            if join.alias == alias:
+                referenced.add(join.right_column)
+            add(join.left_column)
+        for predicate in spec.filters:
+            for name in predicate.references():
+                add(name)
+        if spec.aggregate is not None:
+            for name in spec.aggregate.value.references():
+                add(name)
+            for name in spec.aggregate.group_by:
+                add(name)
+        else:
+            assert spec.projection is not None
+            for name in spec.projection:
+                add(name)
+        return frozenset(referenced)
 
     # ------------------------------------------------------------------
     # Consistency checks

@@ -37,10 +37,16 @@ import time
 import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
+from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.export import CONTENT_TYPE, render_prometheus
 from repro.obs.recorder import Recorder
 from repro.obs.sampler import FlightRecorder
+
+#: Default row cap for the ``/views`` route; override per request with
+#: ``?limit=N``.  At fleet scale an uncapped dump of thousands of view
+#: summaries makes the endpoint useless to both humans and scrapers.
+VIEWS_DEFAULT_LIMIT = 100
 
 
 def _views_from_registry(snapshot: dict) -> dict[str, dict]:
@@ -88,7 +94,9 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # scrapes must not spam the run's stdout/stderr
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
         if path == "/metrics":
             body = render_prometheus(self.server.recorder.registry)
             self._reply(200, CONTENT_TYPE, body.encode("utf-8"))
@@ -117,6 +125,18 @@ class _Handler(BaseHTTPRequestHandler):
             )
             self._reply(200, "application/x-ndjson", body.encode("utf-8"))
         elif path == "/views":
+            try:
+                limit = int(query.get("limit", [VIEWS_DEFAULT_LIMIT])[0])
+            except ValueError:
+                self._reply_json(
+                    400, {"error": "limit must be an integer"}
+                )
+                return
+            if limit < 0:
+                self._reply_json(
+                    400, {"error": "limit must be non-negative"}
+                )
+                return
             provider = self.server.views_provider
             if provider is not None:
                 views = provider()
@@ -124,7 +144,22 @@ class _Handler(BaseHTTPRequestHandler):
                 views = _views_from_registry(
                     self.server.recorder.registry.snapshot()
                 )
-            self._reply_json(200, {"views": views})
+            payload: dict = {"views": views}
+            if len(views) > limit:
+                # Costliest views first; the extra keys appear only when
+                # rows were actually dropped, so small fleets keep the
+                # exact legacy payload shape.
+                ranked = sorted(
+                    views.items(),
+                    key=lambda item: (
+                        -(self._view_cost(item[1])),
+                        item[0],
+                    ),
+                )
+                payload["views"] = dict(ranked[:limit])
+                payload["omitted"] = len(views) - limit
+                payload["total_views"] = len(views)
+            self._reply_json(200, payload)
         else:
             self._reply_json(
                 404,
@@ -139,6 +174,16 @@ class _Handler(BaseHTTPRequestHandler):
                     ],
                 },
             )
+
+    @staticmethod
+    def _view_cost(summary) -> float:
+        """Ranking key for ``/views`` truncation (simulated cost spent)."""
+        if isinstance(summary, dict):
+            for key in ("sim_ms", "cost_ms"):
+                value = summary.get(key)
+                if isinstance(value, (int, float)):
+                    return float(value)
+        return 0.0
 
     def _reply_json(self, status: int, payload: object) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")

@@ -1,0 +1,318 @@
+"""Unit and behavior tests for shared-scan maintenance rounds."""
+
+import pytest
+
+from repro import obs
+from repro.core.costfuncs import LinearCost
+from repro.core.naive import NaivePolicy
+from repro.engine.errors import ExecutionError
+from repro.engine.expr import col, lit
+from repro.engine.query import AggregateSpec, OrderSpec, QuerySpec
+from repro.ivm.multiview import MaintenanceCoordinator, ViewConfig
+from repro.ivm.sharedscan import SharedScanRound, _merge_intervals
+from repro.ivm.view import MaterializedView
+from repro.tpcr.updates import PartSuppCostUpdater, SupplierNationUpdater
+from tests.conftest import make_paper_spec, make_tpcr_db
+
+NAIVE_COST = (LinearCost(slope=0.5, setup=2.0),)
+
+
+def availqty_spec() -> QuerySpec:
+    """Single-table aggregate that never reads ``supplycost``: every event
+    of a PartSuppCostUpdater stream is a provable no-op for it."""
+    return QuerySpec(
+        base_alias="PS",
+        base_table="partsupp",
+        aggregate=AggregateSpec(
+            func="sum", value=col("PS.availqty"), group_by=("PS.suppkey",)
+        ),
+    )
+
+
+def supplycost_spec() -> QuerySpec:
+    """Single-table aggregate that *does* read ``supplycost``."""
+    return QuerySpec(
+        base_alias="PS",
+        base_table="partsupp",
+        aggregate=AggregateSpec(func="min", value=col("PS.supplycost")),
+    )
+
+
+def _reshard_history(table, chunk_size: int):
+    """Replace a table's ModLog with an equivalent small-chunk one, so
+    truncation (whole chunks only) has granularity at test volumes."""
+    from repro.engine.table import ModLog
+
+    new = ModLog(chunk_size=chunk_size)
+    for event in table.history:
+        new.append(event)
+    table.history = new
+    return new
+
+
+def add_naive(coordinator, name, spec):
+    # NaivePolicy flushes only when the state is full; a limit below one
+    # event's refresh cost makes every non-empty state full, so the view
+    # flushes everything every step (f(0) = 0 keeps the empty state legal).
+    return coordinator.add_view(
+        ViewConfig(
+            name=name,
+            query=spec,
+            policy=NaivePolicy(),
+            cost_functions=NAIVE_COST,
+            limit=1.0,
+            scheduled_aliases=("PS",),
+        )
+    )
+
+
+class TestMergeIntervals:
+    def test_disjoint_stay_separate(self):
+        assert _merge_intervals([(0, 3), (5, 8)]) == [(0, 3), (5, 8)]
+
+    def test_overlap_and_containment_merge(self):
+        assert _merge_intervals([(0, 5), (3, 8), (6, 7)]) == [(0, 8)]
+
+    def test_adjacent_merge(self):
+        assert _merge_intervals([(0, 3), (3, 6)]) == [(0, 6)]
+
+    def test_unsorted_input(self):
+        assert _merge_intervals([(5, 9), (0, 2), (1, 4)]) == [(0, 4), (5, 9)]
+
+
+class TestReferencedColumns:
+    def test_aggregate_view_collects_value_and_group_refs(self):
+        db = make_tpcr_db()
+        view = MaterializedView("v", db, availqty_spec())
+        assert view.referenced_columns("PS") == {"availqty", "suppkey"}
+
+    def test_join_keys_and_filters_count(self):
+        db = make_tpcr_db()
+        view = MaterializedView("v", db, make_paper_spec())
+        assert view.referenced_columns("PS") == {"supplycost", "suppkey"}
+        assert view.referenced_columns("S") == {"suppkey", "nationkey"}
+        assert view.referenced_columns("R") == {"regionkey", "name"}
+
+    def test_whole_row_spj_is_never_suppressible(self):
+        db = make_tpcr_db()
+        spec = QuerySpec(base_alias="PS", base_table="partsupp")
+        view = MaterializedView("v", db, spec)
+        assert view.referenced_columns("PS") is None
+
+    def test_order_by_and_limit_are_conservative(self):
+        db = make_tpcr_db()
+        spec = QuerySpec(
+            base_alias="PS",
+            base_table="partsupp",
+            projection=("PS.partkey",),
+            order_by=(OrderSpec("PS.partkey"),),
+            limit=5,
+        )
+        view = MaterializedView("v", db, spec)
+        assert view.referenced_columns("PS") is None
+
+
+class TestSharedScanRound:
+    def _setup(self):
+        db = make_tpcr_db()
+        views = [
+            MaterializedView("a", db, availqty_spec()),
+            MaterializedView("b", db, supplycost_spec()),
+        ]
+        updater = PartSuppCostUpdater(db.table("partsupp"), seed=7)
+        return db, views, updater
+
+    def test_scan_charges_once_regardless_of_subscribers(self):
+        db, views, updater = self._setup()
+        updater.apply(20)
+        for view in views:
+            for delta in view.deltas.values():
+                delta.pull()
+        round_ = SharedScanRound(db)
+        for view in views:
+            round_.request(view.deltas["PS"], 20)
+        before = db.counter.snapshot()
+        assert round_.run() == 1
+        after = db.counter.snapshot()
+        # 20 update events -> 40 split rows, charged exactly once.
+        assert after["tuple_cpu"] - before["tuple_cpu"] == 40
+        assert round_.tables == ("partsupp",)
+
+    def test_requests_closed_after_run(self):
+        db, views, __ = self._setup()
+        round_ = SharedScanRound(db)
+        round_.run()
+        with pytest.raises(ExecutionError, match="already ran"):
+            round_.request(views[0].deltas["PS"], 1)
+        with pytest.raises(ExecutionError, match="already ran"):
+            round_.run()
+
+    def test_batch_requires_run(self):
+        db, views, updater = self._setup()
+        updater.apply(2)
+        views[0].deltas["PS"].pull()
+        round_ = SharedScanRound(db)
+        round_.request(views[0].deltas["PS"], 2)
+        with pytest.raises(ExecutionError, match="not run yet"):
+            round_.batch_for(views[0], "PS", 2)
+
+    def test_unrequested_window_rejected(self):
+        db, views, updater = self._setup()
+        updater.apply(4)
+        for view in views:
+            view.deltas["PS"].pull()
+        round_ = SharedScanRound(db)
+        round_.request(views[0].deltas["PS"], 2)
+        round_.run()
+        with pytest.raises(ExecutionError, match="was not requested"):
+            round_.batch_for(views[1], "PS", 4)
+
+    def test_fingerprint_suppresses_untouched_view_only(self):
+        db, views, updater = self._setup()
+        insensitive, sensitive = views
+        updater.apply(10)
+        for view in views:
+            view.deltas["PS"].pull()
+        round_ = SharedScanRound(db)
+        for view in views:
+            round_.request(view.deltas["PS"], 10)
+        round_.run()
+        assert round_.batch_for(insensitive, "PS", 10).suppressed
+        batch = round_.batch_for(sensitive, "PS", 10)
+        assert not batch.suppressed
+        assert len(batch.deleted) == 10 and len(batch.inserted) == 10
+
+    def test_mixed_kind_window_never_suppressed(self):
+        db, views, updater = self._setup()
+        updater.apply(3)
+        # Append a genuine insert: reuse an existing row's values.
+        row = next(iter(db.table("partsupp").live_rows()))
+        db.table("partsupp").insert(row)
+        insensitive = views[0]
+        insensitive.deltas["PS"].pull()
+        round_ = SharedScanRound(db)
+        round_.request(insensitive.deltas["PS"], 4)
+        round_.run()
+        assert not round_.batch_for(insensitive, "PS", 4).suppressed
+
+
+class TestCoordinatorSharedRounds:
+    def test_suppressed_rounds_stay_correct_and_visible(self):
+        db = make_tpcr_db()
+        coordinator = MaintenanceCoordinator(db)
+        add_naive(coordinator, "insensitive", availqty_spec())
+        add_naive(coordinator, "sensitive", supplycost_spec())
+        updater = PartSuppCostUpdater(db.table("partsupp"), seed=17)
+        with obs.recording() as recorder:
+            for t in range(5):
+                updater.apply(8)
+                coordinator.step(t)
+        for __, maintainer in coordinator.iter_maintainers():
+            assert maintainer.view.contents() == maintainer.view.recompute()
+            assert not maintainer.view.is_stale()
+        skipped = recorder.registry.get("ivm.skip.fingerprint")
+        assert skipped is not None and skipped.value == 5
+        assert recorder.registry.get("ivm.coordinator.rounds").value == 5
+        assert recorder.registry.get("ivm.coordinator.scan.tables").value == 5
+        # The insensitive view's ledger shows rounds where mods were
+        # incorporated without any join charges.
+        ledger = coordinator.maintainer("insensitive").ledger
+        assert ledger.total_mods == 40
+        assert ledger.charge_totals() == {}
+
+    def test_idle_rounds_emit_skip_empty_and_full_series(self):
+        db = make_tpcr_db()
+        coordinator = MaintenanceCoordinator(db)
+        add_naive(coordinator, "only", availqty_spec())
+        with obs.recording() as recorder:
+            for t in range(3):
+                coordinator.step(t)  # no modifications at all
+        assert recorder.registry.get("ivm.skip.empty").value == 3
+        ledger = coordinator.maintainer("only").ledger
+        assert ledger.rounds == 3 and ledger.total_sim_ms == 0.0
+        vid = ledger.metric_id
+        assert recorder.registry.get(f"ivm.view.{vid}.rounds").value == 3
+        assert (
+            recorder.registry.get(f"ivm.view.{vid}.round_ms").count
+            == ledger.rounds
+        )
+
+    def test_log_truncates_once_all_views_catch_up(self):
+        db = make_tpcr_db()
+        # Small chunks so truncation has granularity at test volumes.
+        log = _reshard_history(db.table("partsupp"), chunk_size=16)
+        coordinator = MaintenanceCoordinator(db)
+        add_naive(coordinator, "a", availqty_spec())
+        add_naive(coordinator, "b", supplycost_spec())
+        updater = PartSuppCostUpdater(db.table("partsupp"), seed=23)
+        with obs.recording() as recorder:
+            for t in range(6):
+                updater.apply(16)
+                coordinator.step(t)
+        assert log.truncated_lsn > 0
+        truncated = recorder.registry.get("ivm.coordinator.log_truncated")
+        assert truncated is not None and truncated.value == log.truncated_lsn
+
+    def test_remove_view_releases_pin_ledger_and_metrics(self):
+        db = make_tpcr_db()
+        log = db.table("partsupp").history
+        coordinator = MaintenanceCoordinator(db)
+        add_naive(coordinator, "keeper", availqty_spec())
+        laggard = add_naive(coordinator, "laggard", supplycost_spec())
+        updater = PartSuppCostUpdater(db.table("partsupp"), seed=29)
+        with obs.recording() as recorder:
+            updater.apply(32)
+            coordinator.step(0)
+            # Make the laggard actually lag: new mods it never processes.
+            updater.apply(32)
+            coordinator.refresh(names=["keeper"], t=1)
+            assert log.safe_truncation_lsn() == laggard.deltas["PS"].applied_lsn
+            vid = coordinator.maintainer("laggard").ledger.metric_id
+            assert recorder.registry.names(f"ivm.view.{vid}")
+            coordinator.remove_view("laggard")
+            # Pin released: the log could truncate past the laggard...
+            assert log.safe_truncation_lsn() == db.table(
+                "partsupp"
+            ).current_lsn
+            # ...its metric series are gone, the keeper's remain.
+            assert recorder.registry.names(f"ivm.view.{vid}") == []
+            keeper_vid = coordinator.maintainer("keeper").ledger.metric_id
+            assert recorder.registry.names(f"ivm.view.{keeper_vid}")
+
+    def test_shared_flag_per_call_override(self):
+        db = make_tpcr_db()
+        coordinator = MaintenanceCoordinator(db, shared_scans=False)
+        add_naive(coordinator, "only", availqty_spec())
+        updater = PartSuppCostUpdater(db.table("partsupp"), seed=31)
+        with obs.recording() as recorder:
+            updater.apply(4)
+            coordinator.step(0)  # independent (constructor default)
+            updater.apply(4)
+            coordinator.step(1, shared=True)  # forced shared
+        assert recorder.registry.get("ivm.coordinator.rounds").value == 1
+
+
+class TestLedgerSummaryCap:
+    def test_under_limit_keeps_registration_order(self):
+        db = make_tpcr_db()
+        coordinator = MaintenanceCoordinator(db)
+        add_naive(coordinator, "zz_first", availqty_spec())
+        add_naive(coordinator, "aa_second", supplycost_spec())
+        lines = coordinator.ledger_summary().splitlines()
+        assert lines[2].startswith("zz_first")
+        assert lines[3].startswith("aa_second")
+
+    def test_over_limit_ranks_by_cost_and_aggregates_rest(self):
+        db = make_tpcr_db()
+        coordinator = MaintenanceCoordinator(db)
+        for i in range(6):
+            add_naive(coordinator, f"v{i}", availqty_spec())
+        updater = PartSuppCostUpdater(db.table("partsupp"), seed=37)
+        updater.apply(10)
+        coordinator.refresh()
+        table = coordinator.ledger_summary(limit=3)
+        lines = table.splitlines()
+        assert len(lines) == 2 + 3 + 1  # header, rule, 3 rows, remainder
+        assert "(+3 more views)" in lines[-1]
+        full = coordinator.ledger_summary(limit=None)
+        assert len(full.splitlines()) == 2 + 6

@@ -1,0 +1,95 @@
+"""The /views route's fleet-scale row cap (?limit=)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.serve import VIEWS_DEFAULT_LIMIT, MetricsServer
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+def summaries(n: int) -> dict:
+    # Distinct sim_ms so the truncation ranking is fully determined.
+    return {
+        f"view{i:03d}": {"view": f"view{i:03d}", "sim_ms": float(i), "rounds": 1}
+        for i in range(n)
+    }
+
+
+@pytest.fixture
+def serve():
+    servers = []
+
+    def start(views):
+        server = MetricsServer(obs.Recorder(), port=0, views=lambda: views)
+        server.start()
+        servers.append(server)
+        return server
+
+    try:
+        yield start
+    finally:
+        for server in servers:
+            server.stop()
+
+
+class TestViewsLimit:
+    def test_under_limit_payload_shape_unchanged(self, serve):
+        views = summaries(3)
+        server = serve(views)
+        status, payload = _get(server.url + "/views")
+        assert status == 200
+        assert payload == {"views": views}  # no truncation keys
+
+    def test_default_limit_applies(self, serve):
+        views = summaries(VIEWS_DEFAULT_LIMIT + 7)
+        server = serve(views)
+        __, payload = _get(server.url + "/views")
+        assert len(payload["views"]) == VIEWS_DEFAULT_LIMIT
+        assert payload["omitted"] == 7
+        assert payload["total_views"] == VIEWS_DEFAULT_LIMIT + 7
+
+    def test_explicit_limit_keeps_costliest(self, serve):
+        server = serve(summaries(10))
+        __, payload = _get(server.url + "/views?limit=2")
+        assert set(payload["views"]) == {"view009", "view008"}
+        assert payload["omitted"] == 8
+        assert payload["total_views"] == 10
+
+    def test_limit_zero_omits_everything(self, serve):
+        server = serve(summaries(3))
+        __, payload = _get(server.url + "/views?limit=0")
+        assert payload["views"] == {}
+        assert payload["omitted"] == 3
+
+    def test_invalid_limit_is_400(self, serve):
+        server = serve(summaries(3))
+        for bad in ("abc", "-1"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + f"/views?limit={bad}")
+            assert excinfo.value.code == 400
+
+
+class TestRegistryRemovePrefix:
+    def test_removes_family_and_counts(self):
+        recorder = obs.Recorder()
+        recorder.counter("ivm.view.a.rounds")
+        recorder.counter("ivm.view.a.flushes")
+        recorder.counter("ivm.view.ab.rounds")  # not under "ivm.view.a."
+        recorder.gauge("ivm.view.a.backlog", 1)
+        assert recorder.registry.remove_prefix("ivm.view.a") == 3
+        assert recorder.registry.names("ivm.view.a") == []
+        assert recorder.registry.names("ivm.view.ab") == ["ivm.view.ab.rounds"]
+
+    def test_exact_name_also_matches(self):
+        recorder = obs.Recorder()
+        recorder.counter("solo")
+        assert recorder.registry.remove_prefix("solo") == 1
+        assert recorder.registry.remove_prefix("solo") == 0
