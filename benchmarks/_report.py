@@ -12,7 +12,10 @@ written with ``{name, params, metrics, wall_time_s}``:
 * ``params`` -- whatever the benchmark passes (scale factors, sweeps);
 * ``metrics`` -- the :mod:`repro.obs` registry snapshot of the run (the
   ``conftest`` harness installs a recorder around every benchmark), so
-  node expansions, rows joined, batches flushed etc. are diffable;
+  node expansions, rows joined, batches flushed etc. are diffable; at
+  fleet scale the per-view ``ivm.view.*`` series are folded into
+  ``ivm.view._fleet.*`` summaries (:func:`compact_metrics`) so one
+  2000-view run cannot bloat the committed results;
 * ``profile`` -- per-operator-kind attribution totals over every query
   the run profiled (:func:`repro.obs.attrib.aggregate_profiles`);
   ``report_trajectory.py`` renders these as the top-operators table;
@@ -41,6 +44,73 @@ SESSION_REPORTS: list[tuple[str, str]] = []
 #: one benchmark's numbers can never leak into the next report.
 LAST_RUN: dict[str, Any] = {}
 
+#: Per-view metric series above this many distinct view ids are folded
+#: into one ``ivm.view._fleet.<field>`` aggregate per field by
+#: :func:`compact_metrics`.  A fleet-scale benchmark (2000 views x 6
+#: fields) otherwise commits tens of thousands of JSON lines per run
+#: that no dashboard reads individually.
+MAX_VIEW_SERIES = 32
+
+
+def _scalar(data: Any) -> float | None:
+    """One representative number for a metric snapshot entry.
+
+    Counter/gauge ``value``, histogram ``total`` (falling back to
+    ``count`` for count-only shapes); ``None`` when nothing numeric is
+    found, in which case the series is kept verbatim.
+    """
+    if isinstance(data, (int, float)):
+        return float(data)
+    if isinstance(data, dict):
+        for key in ("value", "total", "count"):
+            value = data.get(key)
+            if isinstance(value, (int, float)):
+                return float(value)
+    return None
+
+
+def compact_metrics(
+    metrics: Mapping[str, Any], max_series: int = MAX_VIEW_SERIES
+) -> dict[str, Any]:
+    """Fold per-view ``ivm.view.<id>.<field>`` series at fleet scale.
+
+    When more than ``max_series`` distinct view ids appear, each field's
+    per-view series collapse into a single
+    ``ivm.view._fleet.<field>`` entry of shape
+    ``{"type": "summary", "views": N, "sum", "min", "max"}`` computed
+    over one representative scalar per view (counter/gauge value,
+    histogram total).  Below the threshold -- every hand-sized run --
+    the snapshot passes through untouched, so existing result diffs are
+    unaffected.  True totals are preserved: ``sum`` over the fleet
+    equals the sum of the folded per-view values.
+    """
+    per_field: dict[str, dict[str, float]] = {}
+    passthrough: dict[str, Any] = {}
+    view_ids: set[str] = set()
+    for name, data in metrics.items():
+        if name.startswith("ivm.view.") and not name.startswith(
+            "ivm.view._fleet."
+        ):
+            vid, _, field = name[len("ivm.view.") :].rpartition(".")
+            value = _scalar(data) if vid else None
+            if value is not None:
+                view_ids.add(vid)
+                per_field.setdefault(field, {})[vid] = value
+                continue
+        passthrough[name] = data
+    if len(view_ids) <= max_series:
+        return dict(metrics)
+    for field, by_view in sorted(per_field.items()):
+        values = list(by_view.values())
+        passthrough[f"ivm.view._fleet.{field}"] = {
+            "type": "summary",
+            "views": len(by_view),
+            "sum": sum(values),
+            "min": min(values),
+            "max": max(values),
+        }
+    return passthrough
+
 
 def report(
     name: str, text: str, params: Mapping[str, Any] | None = None
@@ -56,7 +126,7 @@ def report(
     payload = {
         "name": name,
         "params": dict(params or {}),
-        "metrics": LAST_RUN.pop("metrics", {}),
+        "metrics": compact_metrics(LAST_RUN.pop("metrics", {})),
         "profile": LAST_RUN.pop("profile", {}),
         "wall_time_s": LAST_RUN.pop("wall_time_s", None),
     }

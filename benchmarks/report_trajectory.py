@@ -8,6 +8,8 @@ one markdown (and optionally HTML) dashboard:
 * a **key-metric table** (planner expansions, engine row volume, block
   fill, IVM flushes, SLO breaches) so a wall-time swing can be traced to
   the work volume that moved;
+* a **calibration table** (cost-model residuals, drift alerts) for runs
+  that traced planner decisions (``planner.calibration.*`` metrics);
 * a **top-operators table** folding every benchmark's per-operator
   ``profile`` section (rows, simulated and wall cost per operator kind)
   -- which plan operators the whole suite actually spends on;
@@ -144,6 +146,69 @@ def build_dashboard(results: list[dict]) -> str:
             ]
         )
     lines += _markdown_table(headers, metric_rows)
+
+    calib_rows = []
+    for result in results:
+        metrics = result.get("metrics") or {}
+        samples = _metric_value(metrics, "planner.calibration.samples", "value")
+        if not samples:
+            continue
+        calib_rows.append(
+            [
+                result["name"],
+                _fmt(samples),
+                _fmt(
+                    _metric_value(
+                        metrics, "planner.decisions.emitted", "value"
+                    )
+                ),
+                _fmt(
+                    _metric_value(metrics, "planner.calibration.abs_err_ms", "p50")
+                ),
+                _fmt(
+                    _metric_value(metrics, "planner.calibration.abs_err_ms", "p95")
+                ),
+                _fmt(
+                    _metric_value(metrics, "planner.calibration.rel_err", "p50")
+                ),
+                _fmt(
+                    _metric_value(metrics, "planner.calibration.rel_err", "p95")
+                ),
+                _fmt(
+                    _metric_value(metrics, "planner.calibration.residual", "mean")
+                ),
+                _fmt(
+                    _metric_value(
+                        metrics, "planner.calibration.drift_alerts", "value"
+                    )
+                ),
+            ]
+        )
+    if calib_rows:
+        lines += [
+            "",
+            "## Calibration",
+            "",
+            "Cost-model calibration residuals (`actual - predicted` per "
+            "flush) from runs that traced planner decisions — a drifting "
+            "p95 here means the `f_i(k)` tables no longer match the "
+            "simulated engine.",
+            "",
+        ]
+        lines += _markdown_table(
+            [
+                "benchmark",
+                "samples",
+                "decisions",
+                "abs err p50 (ms)",
+                "abs err p95 (ms)",
+                "rel err p50",
+                "rel err p95",
+                "residual mean (ms)",
+                "drift alerts",
+            ],
+            calib_rows,
+        )
 
     operators: dict[str, dict[str, float]] = {}
     profiled_queries = 0

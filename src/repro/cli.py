@@ -24,6 +24,15 @@ Commands
     renders the per-operator EXPLAIN ANALYZE tree (rows, blocks,
     simulated charge breakdown, wall time, worker spread).
 
+``why``
+    Render the planner's decision trail as a text tree: per step, the
+    backlog the policy saw, every candidate action with its predicted
+    ``f(q)`` cost, the chosen action, the winning comparison, and --
+    once the step executed -- the actual cost and residual.  Reads a
+    ``--decision-log`` JSONL file with ``--log``; without one it runs a
+    small sample simulation on the paper's workload.  ``--view`` and
+    ``--step`` filter the trail.
+
 Observability (any subcommand)
 ------------------------------
 
@@ -52,6 +61,12 @@ Observability (any subcommand)
     Install a global query-profile sink for the run: every query any
     Database executes is attributed per operator and appended to FILE as
     JSONL (one profile dict per query).  Independent of ``--metrics``.
+
+``--decision-log FILE``
+    Install a global planner decision log for the run: every policy
+    decision (simulator or live maintenance) is captured, joined with
+    its executed cost, and dumped to FILE as JSONL on exit -- the input
+    format of ``repro why --log FILE``.  Independent of ``--metrics``.
 
 Execution (any subcommand)
 --------------------------
@@ -150,6 +165,16 @@ def _obs_flags() -> argparse.ArgumentParser:
         ),
     )
     parent.add_argument(
+        "--decision-log",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help=(
+            "capture every planner decision, join it with its executed "
+            "cost, and dump the trail to FILE as JSONL on exit "
+            "(readable with `repro why --log FILE`)"
+        ),
+    )
+    parent.add_argument(
         "--workers",
         metavar="N",
         type=int,
@@ -191,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         flight_recorder=None,
         flight_interval_ms=50.0,
         profile=None,
+        decision_log=None,
         workers=None,
         parallel_backend=None,
     )
@@ -285,6 +311,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=["naive", "optimal", "online"],
         choices=["naive", "optimal", "online", "adapt"],
     )
+
+    why = sub.add_parser(
+        "why",
+        help=(
+            "render the planner's decision trail as a text tree: "
+            "backlog, candidates, predicted costs, rationale, and the "
+            "executed cost per step"
+        ),
+        parents=[obs_flags],
+    )
+    why.add_argument(
+        "--log",
+        metavar="FILE",
+        default=None,
+        help=(
+            "read decisions from a --decision-log JSONL file instead of "
+            "running the sample workload"
+        ),
+    )
+    why.add_argument(
+        "--view", default=None, help="only decisions for this view id"
+    )
+    why.add_argument(
+        "--step", type=int, default=None,
+        help="only decisions at this time step",
+    )
+    why.add_argument(
+        "--policy",
+        choices=["naive", "online", "receding"],
+        default="online",
+        help="policy for the sample workload (ignored with --log)",
+    )
+    why.add_argument("--scale", type=float, default=0.01)
+    why.add_argument(
+        "--horizon", type=int, default=60,
+        help="sample-workload length in steps (ignored with --log)",
+    )
     return parser
 
 
@@ -301,9 +364,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sql": _run_sql,
         "explain": _run_explain,
         "timeline": _run_timeline,
+        "why": _run_why,
     }[args.command]
     if args.profile:
         handler = _with_profile_sink(handler, args.profile)
+    if args.decision_log:
+        handler = _with_decision_log(handler, args.decision_log)
     observed = (
         args.trace
         or args.metrics
@@ -372,6 +438,46 @@ def _with_profile_sink(handler, path):
     return wrapped
 
 
+def _with_decision_log(handler, path):
+    """Wrap a subcommand handler with the global planner decision log.
+
+    Every policy decision during the run is captured and joined with its
+    executed cost; the trail streams to ``path`` as JSONL on exit (one
+    event dict per line, the input of ``repro why --log``).  The
+    previous log (none, normally) is restored afterwards.
+    """
+
+    def wrapped(args) -> int:
+        import json
+
+        from repro.obs import decisions
+
+        try:
+            # Fail fast, same contract as --profile.
+            out = open(path, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write {path!r}: {exc}", file=sys.stderr)
+            return 2
+        log = decisions.DecisionLog()
+        previous = decisions.set_decision_log(log)
+        try:
+            return handler(args)
+        finally:
+            decisions.set_decision_log(previous)
+            count = 0
+            for event in log.events():
+                out.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+                count += 1
+            out.close()
+            dropped = f" ({log.dropped} dropped)" if log.dropped else ""
+            print(
+                f"[obs] wrote {count} decision events to {path}{dropped}",
+                file=sys.stderr,
+            )
+
+    return wrapped
+
+
 def _run_observed(handler, args) -> int:
     """Run ``handler`` under a fresh recorder; report metrics/trace on exit.
 
@@ -418,7 +524,7 @@ def _run_observed(handler, args) -> int:
             return 2
         print(
             f"[obs] serving metrics on http://127.0.0.1:{port}/metrics "
-            f"(also /healthz, /snapshot, /samples)",
+            f"(also /healthz, /snapshot, /samples, /views, /decisions)",
             file=sys.stderr,
         )
     if flight is not None:
@@ -619,6 +725,65 @@ def _run_timeline(args) -> int:
     print()
     print(slo_summary(problem, traces))
     return 0
+
+
+def _run_why(args) -> int:
+    import json
+
+    from repro.obs import decisions
+
+    if args.log:
+        try:
+            with open(args.log, encoding="utf-8") as fh:
+                events = [
+                    decisions.DecisionEvent.from_dict(json.loads(line))
+                    for line in fh
+                    if line.strip()
+                ]
+        except OSError as exc:
+            print(f"error: cannot read {args.log!r}: {exc}", file=sys.stderr)
+            return 2
+        except (KeyError, ValueError) as exc:
+            print(
+                f"error: {args.log!r} is not a decision-log JSONL file: "
+                f"{exc}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        events = _why_sample_run(args)
+    print(decisions.render_decision_trail(events, view=args.view, step=args.step))
+    return 0
+
+
+def _why_sample_run(args):
+    """Simulate the paper's workload with a decision log installed."""
+    from repro.core.naive import NaivePolicy
+    from repro.core.online import OnlinePolicy
+    from repro.core.receding import RecedingHorizonPolicy
+    from repro.core.simulator import simulate_policy
+    from repro.experiments import common
+    from repro.obs import decisions
+    from repro.workloads.arrivals import uniform_arrivals
+
+    costs = common.cost_functions(scale=args.scale)
+    limit = common.default_limit(costs)
+    arrivals = uniform_arrivals(common.ARRIVAL_MIX, args.horizon + 1)
+    problem = common.make_problem(arrivals, limit, costs)
+    policy = {
+        "naive": NaivePolicy,
+        "online": OnlinePolicy,
+        "receding": RecedingHorizonPolicy,
+    }[args.policy]()
+    log = decisions.get_decision_log()
+    if log is not None:
+        # --decision-log already installed a global sink; feed it so the
+        # rendered trail and the dumped JSONL are one and the same.
+        simulate_policy(problem, policy)
+        return log.events()
+    with decisions.collecting() as log:
+        simulate_policy(problem, policy)
+    return log.events()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass
 
 from repro import obs
+from repro.obs import decisions
 from repro.core.actions import cached_greedy_minimal_actions
 from repro.core.plan import Plan
 from repro.core.problem import (
@@ -208,6 +209,25 @@ def find_optimal_lgm_plan(problem: ProblemInstance, use_heuristic: bool = True) 
                     cost=result.cost, expanded=expanded, generated=generated,
                 )
                 result.register_metrics()
+                if decisions.active():
+                    first = next(
+                        (a for a in plan.actions if any(a)),
+                        zero_vector(problem.n),
+                    )
+                    flushes = sum(1 for a in plan.actions if any(a))
+                    decisions.emit_policy_decision(
+                        "OPT_LGM",
+                        -1,  # plans the whole horizon before time starts
+                        zero_vector(problem.n),
+                        problem.cost_functions,
+                        problem.limit,
+                        chosen=first,
+                        rationale=(
+                            f"optimal LGM plan: cost={result.cost:.3f} over "
+                            f"{flushes} flush(es), expanded={expanded}, "
+                            f"generated={generated}"
+                        ),
+                    )
                 obs.counter("astar.heuristic_evals", heuristic_evals)
                 obs.counter(
                     "astar.heuristic.inconsistency_detected", inconsistencies

@@ -12,15 +12,39 @@ from __future__ import annotations
 
 from repro.core.policies import Policy
 from repro.core.problem import Vector, zero_vector
+from repro.obs import decisions
 
 
 class NaivePolicy(Policy):
     """Flush every delta table whenever the pre-action state is full."""
 
     def decide(self, t: int, pre_state: Vector) -> Vector:
-        if self.is_full(pre_state):
-            return pre_state
-        return zero_vector(self.n)
+        full = self.is_full(pre_state)
+        action = pre_state if full else zero_vector(self.n)
+        if decisions.active():
+            cost = self.refresh_cost(pre_state)
+            op = ">" if full else "<="
+            verdict = "flush everything" if full else "defer"
+            decisions.emit_policy_decision(
+                "NAIVE",
+                t,
+                pre_state,
+                self.cost_functions,
+                self.limit,
+                chosen=action,
+                candidates=(
+                    decisions.CandidateAction(
+                        zero_vector(self.n), 0.0, note="defer"
+                    ),
+                    decisions.CandidateAction(
+                        tuple(pre_state), cost, note="flush-all"
+                    ),
+                ),
+                rationale=(
+                    f"f(s)={cost:.3f} {op} C={self.limit:.3f} -> {verdict}"
+                ),
+            )
+        return action
 
     def __repr__(self) -> str:
         return "NaivePolicy()"

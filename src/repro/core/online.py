@@ -30,6 +30,7 @@ from collections import deque
 from typing import Sequence
 
 from repro import obs
+from repro.obs import decisions
 from repro.core.actions import enumerate_greedy_minimal_actions
 from repro.core.costfuncs import CostFunction
 from repro.core.policies import Policy
@@ -188,14 +189,31 @@ class OnlinePolicy(Policy):
         return self._spent
 
     def decide(self, t: int, pre_state: Vector) -> Vector:
+        tracing = decisions.active()
         if not self.is_full(pre_state):
-            return zero_vector(self.n)
+            action = zero_vector(self.n)
+            if tracing:
+                cost = self.refresh_cost(pre_state)
+                decisions.emit_policy_decision(
+                    "ONLINE",
+                    t,
+                    pre_state,
+                    self.cost_functions,
+                    self.limit,
+                    chosen=action,
+                    rationale=(
+                        f"f(s)={cost:.3f} <= C={self.limit:.3f} "
+                        "-> defer (lazy)"
+                    ),
+                )
+            return action
         # Score every greedy minimal valid action by amortized cost H.
         problem_view = _StaticView(self.cost_functions, self.limit, self.n)
         best_action: Vector | None = None
         best_score = float("inf")
         best_cost = float("inf")
         scored = 0
+        candidates: list[decisions.CandidateAction] = []
         for action in enumerate_greedy_minimal_actions(pre_state, problem_view):
             scored += 1
             cost = self.refresh_cost(action)
@@ -205,6 +223,13 @@ class OnlinePolicy(Policy):
             )
             denom = t + horizon
             score = (self._spent + cost) / max(denom, 1e-9)
+            if tracing:
+                candidates.append(
+                    decisions.CandidateAction(
+                        tuple(action), cost, score=score,
+                        note=f"time_to_full={horizon}",
+                    )
+                )
             if score < best_score - 1e-12 or (
                 abs(score - best_score) <= 1e-12 and cost < best_cost
             ):
@@ -212,6 +237,21 @@ class OnlinePolicy(Policy):
         if best_action is None:
             raise RuntimeError(
                 f"no greedy minimal valid action for full state {pre_state}"
+            )
+        if tracing:
+            decisions.emit_policy_decision(
+                "ONLINE",
+                t,
+                pre_state,
+                self.cost_functions,
+                self.limit,
+                chosen=best_action,
+                candidates=tuple(candidates),
+                rationale=(
+                    f"min H over {scored} candidate(s): "
+                    f"H={best_score:.6f} with f(q)={best_cost:.3f} "
+                    f"(spent F_t={self._spent:.3f})"
+                ),
             )
         recorder = obs.get_recorder()
         if recorder is not None:

@@ -19,6 +19,7 @@ from repro.core.astar import find_optimal_lgm_plan
 from repro.core.online import TimeToFullEstimator
 from repro.core.policies import Policy
 from repro.core.problem import ProblemInstance, Vector, zero_vector
+from repro.obs import decisions
 
 
 def project_arrivals(
@@ -78,7 +79,22 @@ class RecedingHorizonPolicy(Policy):
 
     def decide(self, t: int, pre_state: Vector) -> Vector:
         if not self.is_full(pre_state):
-            return zero_vector(self.n)
+            action = zero_vector(self.n)
+            if decisions.active():
+                cost = self.refresh_cost(pre_state)
+                decisions.emit_policy_decision(
+                    "RECEDING",
+                    t,
+                    pre_state,
+                    self.cost_functions,
+                    self.limit,
+                    chosen=action,
+                    rationale=(
+                        f"f(s)={cost:.3f} <= C={self.limit:.3f} "
+                        "-> defer (lazy)"
+                    ),
+                )
+            return action
         self.replans += 1
         rates = self.estimator.rates()
         # Projected instance: the current backlog arrives "at step 0",
@@ -98,7 +114,32 @@ class RecedingHorizonPolicy(Policy):
                 if any(later):
                     action = later
                     break
-        return tuple(min(a, s) for a, s in zip(action, pre_state))
+        clamped = tuple(min(a, s) for a, s in zip(action, pre_state))
+        if decisions.active():
+            # Emitted after the nested A* search's own OPT_LGM event, so
+            # this outer decision -- the action that actually executes --
+            # wins the (view, step) join slot.
+            decisions.emit_policy_decision(
+                "RECEDING",
+                t,
+                pre_state,
+                self.cost_functions,
+                self.limit,
+                chosen=clamped,
+                candidates=(
+                    decisions.CandidateAction(
+                        clamped,
+                        self.refresh_cost(clamped),
+                        note="first scheduled action of projected A* plan",
+                    ),
+                ),
+                rationale=(
+                    f"replan #{self.replans}: A* over window={self.window} "
+                    f"projected at rates="
+                    f"{tuple(round(r, 3) for r in rates)}"
+                ),
+            )
+        return clamped
 
     def __repr__(self) -> str:
         return f"RecedingHorizonPolicy(window={self.window})"

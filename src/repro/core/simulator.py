@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 
 from repro import obs
-from repro.obs import slo
+from repro.obs import decisions, slo
 from repro.core.plan import Plan, PlanTrace
 from repro.core.policies import Policy, PolicyError
 from repro.core.problem import (
@@ -87,6 +87,13 @@ def simulate_policy(
                 )
             cost = problem.refresh_cost(action)
             policy.record_action(t, action, cost)
+            if t < problem.horizon:
+                # Join the policy's decision with its executed cost.  The
+                # horizon step is a forced refresh (no decision emitted).
+                log = decisions.get_decision_log()
+                if log is not None:
+                    view, _ = decisions.current_scope()
+                    log.join(view, t, actual_ms=cost)
             if recorder is not None:
                 recorder.counter("simulator.steps")
                 recorder.observe(

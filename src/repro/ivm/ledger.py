@@ -147,15 +147,16 @@ def ledger_summary(
 ) -> str:
     """Fixed-width per-view cost table (companion to ``slo_summary``).
 
-    Under ``limit`` rows the table lists every view in registration
-    order; above it, the ``limit`` costliest views (by simulated cost)
-    lead and one aggregate row sums the remainder.  ``limit=None``
-    renders everything.
+    Rows are always ordered by simulated cost (descending), ties broken
+    by view id (ascending) -- equal-cost views render identically no
+    matter what order they were registered in.  Above ``limit`` rows the
+    ``limit`` costliest views lead and one aggregate row sums the
+    remainder; ``limit=None`` renders everything.
     """
     rows = [ledger.summary(model) for ledger in ledgers]
+    rows.sort(key=lambda r: (-r["sim_ms"], r["view"]))
     remainder = None
     if limit is not None and len(rows) > limit:
-        rows.sort(key=lambda r: (-r["sim_ms"], r["view"]))
         rest = rows[limit:]
         rows = rows[:limit]
         remainder = {

@@ -28,7 +28,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
-from repro.obs import attrib
+from repro.obs import attrib, decisions
+from repro.obs import calibration as obs_calibration
 from repro.core.costfuncs import CostFunction
 from repro.core.policies import Policy, PolicyError
 from repro.ivm.ledger import RoundEntry, ViewLedger
@@ -157,7 +158,10 @@ class ViewMaintainer:
         arrivals = self._pull_all()
         self.policy.observe(t, arrivals)
         pre = self.pre_state()
-        action = tuple(int(x) for x in self.policy.decide(t, pre))
+        # Decisions emitted by the policy are tagged with the owning view
+        # so execute_planned can join them with the round's actual cost.
+        with decisions.scope(view=self.view.name):
+            action = tuple(int(x) for x in self.policy.decide(t, pre))
         return t, arrivals, pre, action
 
     def plan_refresh(
@@ -250,6 +254,9 @@ class ViewMaintainer:
                 if not any(pre):
                     recorder.counter("ivm.skip.empty")
             self.policy.record_action(t, action, predicted)
+            log = decisions.get_decision_log()
+            if log is not None:
+                log.join(self.view.name, t, actual_ms=0.0)
             record = StepRecord(
                 t=t,
                 arrivals=arrivals,
@@ -263,6 +270,8 @@ class ViewMaintainer:
                 self._verify_consistency()
             return record
         charges_before = counter.snapshot()
+        calibrating = obs_calibration.enabled()
+        flush_actual: dict[str, float] = {}
         wall_start = time.perf_counter()
         with counter.window() as window:
             # Any query profile captured while flushing carries the view
@@ -285,7 +294,7 @@ class ViewMaintainer:
                             if recorder is not None:
                                 recorder.counter("ivm.skip.fingerprint")
                             continue
-                    if recorder is None:
+                    if recorder is None and not calibrating:
                         apply_batch(self.view, alias, k, batch=batch)
                         continue
                     # Per-alias flush: record batch size k against both the
@@ -297,12 +306,19 @@ class ViewMaintainer:
                         ) as span:
                             apply_batch(self.view, alias, k, batch=batch)
                         span.set(sim_ms=flush_window.elapsed_ms)
-                    recorder.counter("ivm.flushes")
-                    recorder.observe("ivm.flush.batch_size", k)
-                    recorder.observe("ivm.flush.predicted_ms", f(k))
-                    recorder.observe(
-                        "ivm.flush.actual_ms", flush_window.elapsed_ms
-                    )
+                    flush_actual[alias] = flush_window.elapsed_ms
+                    if calibrating:
+                        obs_calibration.observe_flush(
+                            self.view.name, t, alias, k,
+                            f(k), flush_window.elapsed_ms,
+                        )
+                    if recorder is not None:
+                        recorder.counter("ivm.flushes")
+                        recorder.observe("ivm.flush.batch_size", k)
+                        recorder.observe("ivm.flush.predicted_ms", f(k))
+                        recorder.observe(
+                            "ivm.flush.actual_ms", flush_window.elapsed_ms
+                        )
         wall_ms = (time.perf_counter() - wall_start) * 1e3
         charges_after = counter.snapshot()
         entry = RoundEntry(
@@ -331,6 +347,14 @@ class ViewMaintainer:
             recorder.gauge(f"ivm.view.{vid}.backlog", entry.backlog)
             recorder.observe(f"ivm.view.{vid}.round_ms", window.elapsed_ms)
         self.policy.record_action(t, action, predicted)
+        log = decisions.get_decision_log()
+        if log is not None:
+            log.join(
+                self.view.name, t,
+                actual_ms=window.elapsed_ms,
+                table_ms=flush_actual,
+                charges=dict(entry.charges),
+            )
         record = StepRecord(
             t=t,
             arrivals=arrivals,

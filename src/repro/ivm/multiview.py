@@ -251,9 +251,11 @@ class MaintenanceCoordinator:
     def ledger_summary(self, limit: int | None = DEFAULT_SUMMARY_LIMIT) -> str:
         """Fixed-width per-view cost table (companion to ``slo_summary``).
 
-        At fleet scale the table is capped at ``limit`` rows (costliest
-        views first, with an aggregate row for the remainder); pass
-        ``limit=None`` for the full table.
+        Rows are ordered by simulated cost (descending, ties by view id)
+        so the output is deterministic regardless of registration order.
+        At fleet scale the table is capped at ``limit`` rows (with an
+        aggregate row for the remainder); pass ``limit=None`` for the
+        full table.
         """
         return _render_ledger_summary(
             (m.ledger for m in self._maintainers.values()),

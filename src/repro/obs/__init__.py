@@ -31,6 +31,9 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.obs import attrib
+from repro.obs import slo
+from repro.obs import calibration
+from repro.obs import decisions
 from repro.obs.export import prometheus_name, render_prometheus
 from repro.obs.metrics import (
     Counter,
@@ -42,7 +45,6 @@ from repro.obs.metrics import (
 from repro.obs.recorder import Recorder
 from repro.obs.sampler import FlightRecorder
 from repro.obs.serve import MetricsServer
-from repro.obs import slo
 from repro.obs.tracing import (
     NULL_SPAN,
     NullSpan,
@@ -62,8 +64,10 @@ __all__ = [
     "Recorder",
     "Span",
     "attrib",
+    "calibration",
     "check_name",
     "counter",
+    "decisions",
     "gauge",
     "gauge_max",
     "get_recorder",

@@ -1,0 +1,337 @@
+"""Cost-model calibration: predicted-vs-actual flush residuals.
+
+The planner schedules against the staircase ``f_i(k)`` cost families;
+execution charges the simulated operation counter.  This module closes
+the loop between them: every per-table flush the IVM maintainer runs
+reports ``(predicted f_i(k), actual simulated ms)`` through
+:func:`observe_flush`, producing a :class:`CalibrationSample` whose
+residual says how far the planner's world model is from reality.
+
+Three consumers, all optional and all observational:
+
+* **metrics** -- samples feed the ``planner.calibration.*`` family
+  (abs/rel error and signed residual histograms with the registry's
+  shared p50/p95/p99 quantiles) through the ambient recorder;
+* **tracker** -- an installable :class:`CalibrationTracker`
+  (:func:`set_tracker` / :func:`tracking`) aggregates residuals
+  per table alias and per view, with the invariant that every
+  aggregate equals the sum of its per-sample residuals (property
+  tested);
+* **drift alerts** -- a rolling per-``(view, table)`` window of
+  relative errors; when the window fills and its mean exceeds the
+  threshold, a :class:`DriftEvent` fires through the same
+  :class:`~repro.obs.slo.AlertHub` plumbing the SLO alerts use
+  (:func:`on_drift` / :func:`drift_alerts`), and the window re-arms.
+
+Nothing here touches the operation counter: cost tables stay
+byte-identical with calibration enabled or disabled (guarded by the
+decisions/calibration differential test).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.obs.slo import AlertHub
+
+__all__ = [
+    "CalibrationSample",
+    "CalibrationTracker",
+    "DriftEvent",
+    "DriftMonitor",
+    "configure_drift",
+    "drift_alerts",
+    "enabled",
+    "get_tracker",
+    "observe_flush",
+    "on_drift",
+    "remove_drift",
+    "set_tracker",
+    "tracking",
+]
+
+#: Relative errors are computed against max(|predicted|, this floor) so
+#: a zero-cost prediction cannot divide the residual by zero.
+REL_ERR_FLOOR = 1e-9
+
+#: Drift fires when the mean relative error of a full rolling window
+#: exceeds the threshold.
+DEFAULT_DRIFT_THRESHOLD = 0.5
+DEFAULT_DRIFT_WINDOW = 16
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One predicted-vs-actual observation for a single table flush."""
+
+    view: str | None
+    t: int
+    alias: str
+    k: int  # backlog drained by this flush
+    predicted_ms: float
+    actual_ms: float
+
+    @property
+    def residual_ms(self) -> float:
+        """Signed actual - predicted (positive = model too optimistic)."""
+        return self.actual_ms - self.predicted_ms
+
+    @property
+    def abs_err_ms(self) -> float:
+        return abs(self.residual_ms)
+
+    @property
+    def rel_err(self) -> float:
+        return self.abs_err_ms / max(abs(self.predicted_ms), REL_ERR_FLOOR)
+
+
+def _empty_bucket() -> dict:
+    return {
+        "samples": 0,
+        "predicted_ms": 0.0,
+        "actual_ms": 0.0,
+        "residual_ms": 0.0,
+        "abs_err_ms": 0.0,
+        "max_abs_err_ms": 0.0,
+    }
+
+
+def _fold(bucket: dict, sample: CalibrationSample) -> None:
+    bucket["samples"] += 1
+    bucket["predicted_ms"] += sample.predicted_ms
+    bucket["actual_ms"] += sample.actual_ms
+    bucket["residual_ms"] += sample.residual_ms
+    bucket["abs_err_ms"] += sample.abs_err_ms
+    bucket["max_abs_err_ms"] = max(bucket["max_abs_err_ms"], sample.abs_err_ms)
+
+
+class CalibrationTracker:
+    """Aggregates calibration samples per table alias and per view.
+
+    Thread-safe.  Keeps the raw samples (up to ``capacity``, counting
+    overflow in :attr:`dropped`) so tests and reports can cross-check
+    that every aggregate equals the sum of its per-sample residuals.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        self.capacity = capacity
+        self.dropped = 0
+        self._samples: deque[CalibrationSample] = deque()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, sample: CalibrationSample) -> None:
+        with self._lock:
+            if len(self._samples) >= self.capacity:
+                self._samples.popleft()
+                self.dropped += 1
+            self._samples.append(sample)
+
+    def samples(self) -> list[CalibrationSample]:
+        with self._lock:
+            return list(self._samples)
+
+    def summary(self) -> dict:
+        """``{"total": ..., "tables": {alias: ...}, "views": {view: ...}}``.
+
+        Every bucket carries sample count, summed predicted/actual ms,
+        the summed signed residual, summed absolute error, and the
+        worst single absolute error.
+        """
+        total = _empty_bucket()
+        tables: dict[str, dict] = {}
+        views: dict[str, dict] = {}
+        for sample in self.samples():
+            _fold(total, sample)
+            _fold(tables.setdefault(sample.alias, _empty_bucket()), sample)
+            if sample.view is not None:
+                _fold(views.setdefault(sample.view, _empty_bucket()), sample)
+        return {
+            "total": total,
+            "tables": dict(sorted(tables.items())),
+            "views": dict(sorted(views.items())),
+        }
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """The cost model drifted: rolling relative error over threshold."""
+
+    view: str | None
+    alias: str
+    t: int
+    rolling_rel_err: float
+    threshold: float
+    window: int
+
+    def __str__(self) -> str:
+        where = f" view={self.view}" if self.view else ""
+        return (
+            f"calibration drift [{self.alias}]{where} t={self.t}: "
+            f"rolling rel err {self.rolling_rel_err:.3f} "
+            f"> {self.threshold:.3f} over {self.window} flushes"
+        )
+
+
+_drift_hub = AlertHub()
+
+
+def on_drift(callback: Callable[[DriftEvent], None]) -> Callable[[DriftEvent], None]:
+    """Register a drift-alert callback (decorator-friendly)."""
+    return _drift_hub.add(callback)
+
+
+def remove_drift(callback: Callable[[DriftEvent], None]) -> None:
+    """Unregister a drift callback (no error if never registered)."""
+    _drift_hub.remove(callback)
+
+
+def drift_alerts(callback: Callable[[DriftEvent], None]):
+    """Scope a drift callback to a ``with`` block (tests, scripts)."""
+    return _drift_hub.scoped(callback)
+
+
+class DriftMonitor:
+    """Rolling per-``(view, alias)`` relative-error windows.
+
+    When a window reaches ``window`` samples its mean relative error is
+    compared against ``threshold``; on a hit the window clears (so the
+    alert re-arms instead of firing on every subsequent flush) and a
+    :class:`DriftEvent` is fired through the drift hub.
+    """
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        window: int = DEFAULT_DRIFT_WINDOW,
+    ):
+        self.threshold = threshold
+        self.window = window
+        self._windows: dict[tuple[str | None, str], deque[float]] = {}
+        self._lock = threading.Lock()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._windows.clear()
+
+    def observe(self, sample: CalibrationSample) -> DriftEvent | None:
+        key = (sample.view, sample.alias)
+        with self._lock:
+            window = self._windows.setdefault(
+                key, deque(maxlen=self.window)
+            )
+            window.append(sample.rel_err)
+            if len(window) < self.window:
+                return None
+            rolling = sum(window) / len(window)
+            if rolling <= self.threshold:
+                return None
+            window.clear()
+        event = DriftEvent(
+            view=sample.view,
+            alias=sample.alias,
+            t=sample.t,
+            rolling_rel_err=rolling,
+            threshold=self.threshold,
+            window=self.window,
+        )
+        from repro import obs
+
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.counter("planner.calibration.drift_alerts")
+        _drift_hub.fire(event)
+        return event
+
+
+_state_lock = threading.Lock()
+_tracker: CalibrationTracker | None = None
+_monitor = DriftMonitor()
+
+
+def set_tracker(tracker: CalibrationTracker | None) -> CalibrationTracker | None:
+    """Install the process-global tracker; returns the previous one."""
+    global _tracker
+    with _state_lock:
+        previous = _tracker
+        _tracker = tracker
+    return previous
+
+
+def get_tracker() -> CalibrationTracker | None:
+    return _tracker
+
+
+@contextmanager
+def tracking(capacity: int = 65536) -> Iterator[CalibrationTracker]:
+    """Aggregate calibration samples for the duration of the block."""
+    tracker = CalibrationTracker(capacity)
+    previous = set_tracker(tracker)
+    try:
+        yield tracker
+    finally:
+        set_tracker(previous)
+
+
+def configure_drift(
+    threshold: float = DEFAULT_DRIFT_THRESHOLD,
+    window: int = DEFAULT_DRIFT_WINDOW,
+) -> DriftMonitor:
+    """Replace the global drift monitor (fresh windows) and return it."""
+    global _monitor
+    monitor = DriftMonitor(threshold=threshold, window=window)
+    with _state_lock:
+        _monitor = monitor
+    return monitor
+
+
+def enabled() -> bool:
+    """True when a flush observation would be consumed by anyone.
+
+    The maintainer uses this to decide whether timing a flush is worth
+    it at all: with no tracker, no recorder, and no drift callbacks the
+    whole calibration path is skipped.
+    """
+    if _tracker is not None or _drift_hub.active():
+        return True
+    from repro import obs
+
+    return obs.get_recorder() is not None
+
+
+def observe_flush(
+    view: str | None,
+    t: int,
+    alias: str,
+    k: int,
+    predicted_ms: float,
+    actual_ms: float,
+) -> CalibrationSample:
+    """Record one per-table flush: predicted ``f_i(k)`` vs actual ms."""
+    sample = CalibrationSample(
+        view=view,
+        t=t,
+        alias=alias,
+        k=int(k),
+        predicted_ms=float(predicted_ms),
+        actual_ms=float(actual_ms),
+    )
+    tracker = _tracker
+    if tracker is not None:
+        tracker.record(sample)
+    from repro import obs
+
+    recorder = obs.get_recorder()
+    if recorder is not None:
+        recorder.counter("planner.calibration.samples")
+        recorder.observe("planner.calibration.abs_err_ms", sample.abs_err_ms)
+        recorder.observe("planner.calibration.rel_err", sample.rel_err)
+        recorder.observe("planner.calibration.residual", sample.residual_ms)
+    _monitor.observe(sample)
+    return sample

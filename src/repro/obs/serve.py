@@ -22,6 +22,13 @@ exit summary.  :class:`MetricsServer` wraps an
     provider callable (e.g. ``coordinator.ledger_snapshot``) when one is
     attached; otherwise reconstructed from the registry's ``ivm.view.*``
     metrics, so any run emitting those is covered for free.
+``/decisions``
+    The planner decision trail as JSON (``?view=``, ``?step=``,
+    ``?limit=`` filters).  Backed by a ``decisions`` provider callable
+    when one is attached; otherwise served from the process-global
+    :class:`~repro.obs.decisions.DecisionLog` (the one ``--decision-log``
+    installs), so the CLI's serve-then-run ordering works without
+    wiring.  404 when neither exists.
 
 Zero dependencies, thread-safe against the instrumented run (the metric
 classes lock their own state), and activated from the CLI with the
@@ -47,6 +54,9 @@ from repro.obs.sampler import FlightRecorder
 #: ``?limit=N``.  At fleet scale an uncapped dump of thousands of view
 #: summaries makes the endpoint useless to both humans and scrapers.
 VIEWS_DEFAULT_LIMIT = 100
+
+#: Default event cap for the ``/decisions`` route (most recent kept).
+DECISIONS_DEFAULT_LIMIT = 100
 
 
 def _views_from_registry(snapshot: dict) -> dict[str, dict]:
@@ -83,6 +93,7 @@ class _ObsServer(ThreadingHTTPServer):
     recorder: Recorder
     sampler: FlightRecorder | None
     views_provider: "Callable[[], dict] | None"
+    decisions_provider: "Callable[[], list] | None"
     started_at: float
 
 
@@ -160,6 +171,50 @@ class _Handler(BaseHTTPRequestHandler):
                 payload["omitted"] = len(views) - limit
                 payload["total_views"] = len(views)
             self._reply_json(200, payload)
+        elif path == "/decisions":
+            try:
+                limit = int(query.get("limit", [DECISIONS_DEFAULT_LIMIT])[0])
+            except ValueError:
+                self._reply_json(400, {"error": "limit must be an integer"})
+                return
+            if limit < 0:
+                self._reply_json(400, {"error": "limit must be non-negative"})
+                return
+            step_raw = query.get("step", [None])[0]
+            try:
+                step = int(step_raw) if step_raw is not None else None
+            except ValueError:
+                self._reply_json(400, {"error": "step must be an integer"})
+                return
+            view = query.get("view", [None])[0]
+            provider = self.server.decisions_provider
+            if provider is not None:
+                raw = provider()
+            else:
+                from repro.obs import decisions as decisions_mod
+
+                log = decisions_mod.get_decision_log()
+                if log is None:
+                    self._reply_json(
+                        404, {"error": "no decision log attached"}
+                    )
+                    return
+                raw = log.events()
+            events = [
+                e.to_dict() if hasattr(e, "to_dict") else e for e in raw
+            ]
+            events = [
+                e
+                for e in events
+                if (view is None or e.get("view") == view)
+                and (step is None or e.get("t") == step)
+            ]
+            total = len(events)
+            if limit:
+                events = events[-limit:]  # most recent decisions win
+            else:
+                events = []
+            self._reply_json(200, {"decisions": events, "total": total})
         else:
             self._reply_json(
                 404,
@@ -171,6 +226,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "/snapshot",
                         "/samples",
                         "/views",
+                        "/decisions",
                     ],
                 },
             )
@@ -217,6 +273,11 @@ class MetricsServer:
         summaries for the ``/views`` route (typically
         ``coordinator.ledger_snapshot``); without one the route falls
         back to aggregating the registry's ``ivm.view.*`` metrics.
+    decisions:
+        Optional zero-argument callable returning the decision trail for
+        the ``/decisions`` route (a list of event dicts or
+        :class:`~repro.obs.decisions.DecisionEvent` objects); without one
+        the route reads the process-global decision log at request time.
     """
 
     def __init__(
@@ -226,12 +287,14 @@ class MetricsServer:
         host: str = "127.0.0.1",
         sampler: FlightRecorder | None = None,
         views: "Callable[[], dict] | None" = None,
+        decisions: "Callable[[], list] | None" = None,
     ):
         self.recorder = recorder
         self.requested_port = int(port)
         self.host = host
         self.sampler = sampler
         self.views = views
+        self.decisions = decisions
         self._server: _ObsServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -243,6 +306,7 @@ class MetricsServer:
         server.recorder = self.recorder
         server.sampler = self.sampler
         server.views_provider = self.views
+        server.decisions_provider = self.decisions
         server.started_at = time.time()
         self._server = server
         self._thread = threading.Thread(

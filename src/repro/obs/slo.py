@@ -67,8 +67,55 @@ class SloEvent:
         )
 
 
-_callbacks_lock = threading.Lock()
-_callbacks: list[Callable[[SloEvent], None]] = []
+class AlertHub:
+    """A thread-safe callback registry for alert events.
+
+    The shared plumbing behind the ``slo.*`` alert surface and the
+    planner-calibration drift alerts (:mod:`repro.obs.calibration`):
+    register with :meth:`add` (decorator-friendly), scope to a ``with``
+    block via :meth:`scoped`, and :meth:`fire` delivers an event to
+    every registered callback inline on the observing thread -- keep
+    callbacks fast and non-raising.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable] = []
+
+    def add(self, callback: Callable) -> Callable:
+        with self._lock:
+            self._callbacks.append(callback)
+        return callback
+
+    def remove(self, callback: Callable) -> None:
+        """Unregister a callback (no error if it was never registered)."""
+        with self._lock:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
+
+    @contextmanager
+    def scoped(self, callback: Callable) -> Iterator[None]:
+        self.add(callback)
+        try:
+            yield
+        finally:
+            self.remove(callback)
+
+    def active(self) -> bool:
+        """True when at least one callback would observe a fire."""
+        with self._lock:
+            return bool(self._callbacks)
+
+    def fire(self, event) -> None:
+        with self._lock:
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            callback(event)
+
+
+_hub = AlertHub()
 
 
 def on_alert(callback: Callable[[SloEvent], None]) -> Callable[[SloEvent], None]:
@@ -77,28 +124,17 @@ def on_alert(callback: Callable[[SloEvent], None]) -> Callable[[SloEvent], None]
     Returns the callback (usable as a decorator).  Callbacks run inline
     on the observing thread; keep them fast and non-raising.
     """
-    with _callbacks_lock:
-        _callbacks.append(callback)
-    return callback
+    return _hub.add(callback)
 
 
 def remove_alert(callback: Callable[[SloEvent], None]) -> None:
     """Unregister a callback (no error if it was never registered)."""
-    with _callbacks_lock:
-        try:
-            _callbacks.remove(callback)
-        except ValueError:
-            pass
+    _hub.remove(callback)
 
 
-@contextmanager
-def alerts(callback: Callable[[SloEvent], None]) -> Iterator[None]:
+def alerts(callback: Callable[[SloEvent], None]):
     """Scope a callback registration to a ``with`` block (tests, scripts)."""
-    on_alert(callback)
-    try:
-        yield
-    finally:
-        remove_alert(callback)
+    return _hub.scoped(callback)
 
 
 def classify(
@@ -144,10 +180,7 @@ def observe_refresh(
     event = SloEvent(
         kind=kind, limit=float(limit), cost=float(cost), t=t, source=source
     )
-    with _callbacks_lock:
-        callbacks = list(_callbacks)
-    for callback in callbacks:
-        callback(event)
+    _hub.fire(event)
     return event
 
 

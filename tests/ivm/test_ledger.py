@@ -133,6 +133,36 @@ class TestGoldenSummary:
             "      0.000      0.000        0"
         )
 
+    def test_equal_cost_views_sort_by_id_regardless_of_order(self):
+        """Regression: the summary used to keep registration order below
+        the row cap, so two equal-cost fleets rendered differently
+        depending on ``add_view`` order.  Rows now always sort
+        (cost desc, view id asc)."""
+        names = ["zulu", "alpha", "mike"]
+        ledgers = {name: ViewLedger(view=name, aliases=("PS",)) for name in names}
+        for ledger in ledgers.values():  # identical costs across views
+            ledger.record(
+                RoundEntry(
+                    t=0,
+                    arrivals=(1,),
+                    pre_state=(1,),
+                    action=(1,),
+                    forced=False,
+                    predicted_ms=1.0,
+                    sim_ms=5.0,
+                    wall_ms=0.1,
+                    backlog=0,
+                    charges={},
+                )
+            )
+        reference = ledger_summary(
+            [ledgers[n] for n in sorted(names)], CostModel()
+        )
+        shuffled = ledger_summary([ledgers[n] for n in names], CostModel())
+        assert shuffled == reference
+        rows = [line.split()[0] for line in shuffled.splitlines()[2:]]
+        assert rows == ["alpha", "mike", "zulu"]
+
     def test_ledger_summary_empty(self):
         table = ledger_summary([], CostModel())
         assert table.splitlines()[-1] == "(no views)"

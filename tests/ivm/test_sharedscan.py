@@ -293,14 +293,16 @@ class TestCoordinatorSharedRounds:
 
 
 class TestLedgerSummaryCap:
-    def test_under_limit_keeps_registration_order(self):
+    def test_under_limit_sorts_ties_by_view_id(self):
+        # Rows are always (cost desc, id asc) -- registration order must
+        # not leak into the rendering even below the row cap.
         db = make_tpcr_db()
         coordinator = MaintenanceCoordinator(db)
         add_naive(coordinator, "zz_first", availqty_spec())
         add_naive(coordinator, "aa_second", supplycost_spec())
         lines = coordinator.ledger_summary().splitlines()
-        assert lines[2].startswith("zz_first")
-        assert lines[3].startswith("aa_second")
+        assert lines[2].startswith("aa_second")
+        assert lines[3].startswith("zz_first")
 
     def test_over_limit_ranks_by_cost_and_aggregates_rest(self):
         db = make_tpcr_db()

@@ -1,0 +1,398 @@
+"""Tests for planner decision tracing (``repro.obs.decisions``).
+
+Unit coverage of the event/log data model (ring eviction, last-wins
+join index, JSONL round-trip), the golden ``repro why`` text tree, and
+the per-policy emission contract: NAIVE, ONLINE, receding-horizon, and
+A* all report what they predicted and chose, and the simulator joins
+each decision with the actual simulated charge -- which, in the
+simulated world, must equal the prediction exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.astar import find_optimal_lgm_plan
+from repro.core.costfuncs import LinearCost
+from repro.core.naive import NaivePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.problem import ProblemInstance
+from repro.core.receding import RecedingHorizonPolicy
+from repro.core.simulator import simulate_policy
+from repro.obs import decisions
+from repro.obs.decisions import (
+    CandidateAction,
+    DecisionEvent,
+    DecisionLog,
+    render_decision_trail,
+)
+
+
+def make_event(t=0, view=None, chosen=(0,), **overrides) -> DecisionEvent:
+    fields = dict(
+        t=t,
+        policy="NAIVE",
+        backlog=(1,),
+        backlog_ms=(2.0,),
+        chosen=tuple(chosen),
+        chosen_ms=tuple(2.0 if k else 0.0 for k in chosen),
+        predicted_ms=sum(2.0 if k else 0.0 for k in chosen),
+        rationale="because",
+        view=view,
+    )
+    fields.update(overrides)
+    return DecisionEvent(**fields)
+
+
+def small_problem(horizon=6, limit=2.5) -> ProblemInstance:
+    return ProblemInstance(
+        cost_functions=(LinearCost(slope=1.0, setup=0.5),),
+        limit=limit,
+        arrivals=[(1,)] * (horizon + 1),
+    )
+
+
+class TestCandidateAction:
+    def test_round_trip(self):
+        cand = CandidateAction((2, 0), 3.5, score=0.25, note="greedy")
+        assert CandidateAction.from_dict(cand.to_dict()) == cand
+
+    def test_optional_fields_omitted_from_dict(self):
+        bare = CandidateAction((1,), 1.0)
+        assert bare.to_dict() == {"action": [1], "predicted_ms": 1.0}
+        assert CandidateAction.from_dict(bare.to_dict()) == bare
+
+
+class TestDecisionEvent:
+    def test_residual_none_until_joined(self):
+        event = make_event(chosen=(1,))
+        assert event.residual_ms is None
+        event.actual_ms = 2.25
+        assert event.residual_ms == pytest.approx(0.25)
+
+    def test_is_flush(self):
+        assert make_event(chosen=(1, 0)).is_flush
+        assert not make_event(chosen=(0, 0)).is_flush
+
+    def test_round_trip_including_joined_fields(self):
+        event = make_event(
+            t=7,
+            view="min_cost",
+            chosen=(2,),
+            candidates=(CandidateAction((2,), 2.0, score=0.5),),
+            limit=4.0,
+        )
+        event.actual_ms = 2.5
+        event.actual_table_ms = {"PS": 2.5}
+        event.charges = {"index_probes": 10}
+        clone = DecisionEvent.from_dict(event.to_dict())
+        assert clone.to_dict() == event.to_dict()
+        assert clone.residual_ms == pytest.approx(0.5)
+
+
+class TestDecisionLog:
+    def test_records_in_order(self):
+        log = DecisionLog()
+        events = [make_event(t=t) for t in range(3)]
+        for event in events:
+            log.record(event)
+        assert len(log) == 3
+        assert log.events() == events
+        assert log.dropped == 0
+
+    def test_join_attaches_actuals(self):
+        log = DecisionLog()
+        event = make_event(t=2, view="v", chosen=(1,))
+        log.record(event)
+        joined = log.join(
+            "v", 2, actual_ms=3.0, table_ms={"PS": 3.0}, charges={"x": 1}
+        )
+        assert joined is event
+        assert event.actual_ms == 3.0
+        assert event.actual_table_ms == {"PS": 3.0}
+        assert event.charges == {"x": 1}
+
+    def test_join_unknown_key_returns_none(self):
+        log = DecisionLog()
+        log.record(make_event(t=0))
+        assert log.join("other", 0, actual_ms=1.0) is None
+        assert log.join(None, 99, actual_ms=1.0) is None
+
+    def test_last_event_for_a_key_wins_the_join(self):
+        # Nested planning (receding-horizon's inner A*) emits several
+        # events for one step; the executed decision is the last one.
+        log = DecisionLog()
+        inner = make_event(t=3, policy="OPT_LGM")
+        outer = make_event(t=3, policy="RECEDING", chosen=(1,))
+        log.record(inner)
+        log.record(outer)
+        joined = log.join(None, 3, actual_ms=2.0)
+        assert joined is outer
+        assert inner.actual_ms is None
+
+    def test_eviction_counts_dropped_and_cleans_index(self):
+        log = DecisionLog(capacity=2)
+        first = make_event(t=0)
+        log.record(first)
+        log.record(make_event(t=1))
+        log.record(make_event(t=2))  # evicts t=0
+        assert len(log) == 2
+        assert log.dropped == 1
+        assert log.join(None, 0, actual_ms=1.0) is None
+        assert first.actual_ms is None
+
+    def test_eviction_keeps_superseding_index_entry(self):
+        # Evicting an old event must not unlink a newer event that took
+        # over the same (view, t) slot.
+        log = DecisionLog(capacity=2)
+        log.record(make_event(t=0))
+        newer = make_event(t=0, chosen=(1,))
+        log.record(newer)  # same key, index now points here
+        log.record(make_event(t=1))  # evicts the original t=0 event
+        assert log.join(None, 0, actual_ms=5.0) is newer
+
+    def test_filtered(self):
+        log = DecisionLog()
+        log.record(make_event(t=0, view="a"))
+        log.record(make_event(t=1, view="a"))
+        log.record(make_event(t=1, view="b"))
+        assert [e.view for e in log.filtered(view="a")] == ["a", "a"]
+        assert [e.t for e in log.filtered(step=1)] == [1, 1]
+        assert len(log.filtered(view="b", step=1)) == 1
+        assert log.filtered(view="zzz") == []
+
+
+class TestGlobalSinkAndScope:
+    def test_inactive_by_default(self):
+        assert decisions.get_decision_log() is None
+        assert not decisions.active()
+        assert (
+            decisions.emit_policy_decision(
+                "NAIVE", 0, (1,), (LinearCost(1.0),), 2.0, (0,), "noop"
+            )
+            is None
+        )
+
+    def test_collecting_installs_and_restores(self):
+        with decisions.collecting() as log:
+            assert decisions.get_decision_log() is log
+            assert decisions.active()
+        assert decisions.get_decision_log() is None
+
+    def test_set_decision_log_returns_previous(self):
+        log = DecisionLog()
+        assert decisions.set_decision_log(log) is None
+        try:
+            assert decisions.set_decision_log(None) is log
+        finally:
+            decisions.set_decision_log(None)
+
+    def test_scope_tags_and_restores(self):
+        assert decisions.current_scope() == (None, "simulator")
+        with decisions.scope(view="min_cost"):
+            assert decisions.current_scope() == ("min_cost", "ivm")
+            with decisions.scope(view="inner", source="test"):
+                assert decisions.current_scope() == ("inner", "test")
+            assert decisions.current_scope() == ("min_cost", "ivm")
+        assert decisions.current_scope() == (None, "simulator")
+
+    def test_emitted_event_carries_scope(self):
+        with decisions.collecting() as log:
+            with decisions.scope(view="v1"):
+                decisions.emit_policy_decision(
+                    "NAIVE", 0, (1,), (LinearCost(1.0),), 2.0, (1,), "r"
+                )
+        (event,) = log.events()
+        assert event.view == "v1"
+        assert event.source == "ivm"
+
+
+class TestMetrics:
+    def test_emission_feeds_planner_counters(self):
+        with obs.recording() as recorder:
+            assert decisions.active()  # recorder alone activates tracing
+            decisions.emit_policy_decision(
+                "NAIVE",
+                0,
+                (2,),
+                (LinearCost(1.0),),
+                2.0,
+                (2,),
+                "flush",
+                candidates=(CandidateAction((2,), 2.0),),
+            )
+            decisions.emit_policy_decision(
+                "NAIVE", 1, (1,), (LinearCost(1.0),), 2.0, (0,), "defer"
+            )
+        snap = recorder.registry.snapshot()
+        assert snap["planner.decisions.emitted"]["value"] == 2
+        assert snap["planner.decisions.flush"]["value"] == 1
+        assert snap["planner.decisions.defer"]["value"] == 1
+        assert snap["planner.decisions.candidates"]["count"] == 2
+        assert snap["planner.decisions.predicted_ms"]["max"] == 2.0
+
+    def test_join_counts_under_recorder(self):
+        with obs.recording() as recorder:
+            with decisions.collecting() as log:
+                log.record(make_event(t=0))
+                log.join(None, 0, actual_ms=1.0)
+        snap = recorder.registry.snapshot()
+        assert snap["planner.decisions.joined"]["value"] == 1
+
+    def test_no_log_no_recorder_is_a_noop(self):
+        # active() is False: no event object is even constructed.
+        assert (
+            decisions.emit_policy_decision(
+                "ONLINE", 0, (1,), (LinearCost(1.0),), 9.0, (0,), "r"
+            )
+            is None
+        )
+
+
+class TestPolicyEmission:
+    COSTS = (LinearCost(slope=1.0, setup=0.5),)
+
+    def test_naive_emits_flush_and_defer(self):
+        policy = NaivePolicy()
+        policy.reset(self.COSTS, 2.0)
+        with decisions.collecting() as log:
+            assert policy.decide(0, (1,)) == (0,)  # f=1.5 <= 2.0
+            assert policy.decide(1, (3,)) == (3,)  # f=3.5 > 2.0
+        deferred, flushed = log.events()
+        assert deferred.policy == "NAIVE" and not deferred.is_flush
+        assert flushed.is_flush and flushed.chosen == (3,)
+        assert flushed.predicted_ms == pytest.approx(3.5)
+        assert len(flushed.candidates) == 2  # defer vs flush-all
+        assert "flush everything" in flushed.rationale
+
+    def test_online_emits_scored_candidates(self):
+        policy = OnlinePolicy()
+        policy.reset(self.COSTS, 2.0)
+        with decisions.collecting() as log:
+            policy.observe(0, (3,))
+            action = policy.decide(0, (3,))
+        assert any(action)
+        (event,) = [e for e in log.events() if e.is_flush]
+        assert event.policy == "ONLINE"
+        assert event.candidates  # every weighed batch is recorded
+        chosen = [c for c in event.candidates if c.action == event.chosen]
+        assert len(chosen) == 1
+        assert chosen[0].score is not None  # ONLINE's H
+        assert "min H over" in event.rationale
+
+    def test_receding_outer_decision_wins_the_join_slot(self):
+        policy = RecedingHorizonPolicy(window=4)
+        problem = small_problem(horizon=5)
+        with decisions.collecting() as log:
+            trace = simulate_policy(problem, policy)
+        flushes = [
+            e for e in log.events() if e.policy == "RECEDING" and e.is_flush
+        ]
+        assert flushes, "receding never replanned on a full state"
+        for event in flushes:
+            # Joined with the executed cost despite the nested A* also
+            # having emitted an OPT_LGM event during the same decide().
+            assert event.actual_ms is not None
+        assert any(e.policy == "OPT_LGM" for e in log.events())
+        assert trace.total_cost > 0
+
+    def test_astar_reports_its_plan(self):
+        problem = small_problem(horizon=4)
+        with decisions.collecting() as log:
+            result = find_optimal_lgm_plan(problem)
+        events = [e for e in log.events() if e.policy == "OPT_LGM"]
+        assert len(events) == 1
+        event = events[0]
+        assert event.t == -1  # a plan, not a step decision
+        assert f"cost={result.cost:.3f}" in event.rationale
+        assert "expanded=" in event.rationale
+
+
+class TestSimulatorJoin:
+    @pytest.mark.parametrize("policy_cls", [NaivePolicy, OnlinePolicy])
+    def test_every_decision_joined_with_zero_residual(self, policy_cls):
+        """In the simulated world the executed charge *is* the predicted
+        ``f(q)``, so every joined event has an exactly-zero residual --
+        the calibration loop's sanity anchor."""
+        problem = small_problem(horizon=8)
+        with decisions.collecting() as log:
+            simulate_policy(problem, policy_cls())
+        events = log.events()
+        assert len(events) == problem.horizon  # one per non-forced step
+        for event in events:
+            assert event.actual_ms is not None, f"t={event.t} never joined"
+            assert event.residual_ms == pytest.approx(0.0)
+
+    def test_forced_horizon_refresh_emits_no_decision(self):
+        problem = small_problem(horizon=3)
+        with decisions.collecting() as log:
+            simulate_policy(problem, NaivePolicy())
+        assert {e.t for e in log.events()} == set(range(problem.horizon))
+
+
+class TestGoldenTrail:
+    def test_render_joined_flush_golden(self):
+        event = DecisionEvent(
+            t=3,
+            policy="ONLINE",
+            view="min_cost",
+            source="ivm",
+            backlog=(2, 1),
+            backlog_ms=(3.0, 2.5),
+            chosen=(2, 0),
+            chosen_ms=(3.0, 0.0),
+            predicted_ms=3.0,
+            limit=4.0,
+            rationale="min H over 2 candidate(s)",
+            candidates=(
+                CandidateAction((2, 0), 3.0, score=0.5, note="time_to_full=4"),
+                CandidateAction((2, 1), 5.5, score=0.75),
+            ),
+            actual_ms=3.25,
+        )
+        assert render_decision_trail([event]) == (
+            "decision trail: 1 decision(s)\n"
+            "t=3 ONLINE [ivm] view=min_cost: flush (2, 0)\n"
+            "├─ backlog (2, 1) f_i(s)=(3.000, 2.500) ms\n"
+            "├─ constraint C=4.000 ms\n"
+            "├─ candidate (2, 0) f=3.000 ms H=0.500000 (time_to_full=4)"
+            " [chosen]\n"
+            "├─ candidate (2, 1) f=5.500 ms H=0.750000\n"
+            "├─ rationale: min H over 2 candidate(s)\n"
+            "└─ actual 3.250 ms (predicted 3.000, residual +0.250)"
+        )
+
+    def test_render_bare_defer_golden(self):
+        event = DecisionEvent(
+            t=0,
+            policy="NAIVE",
+            backlog=(1, 0),
+            backlog_ms=(2.0, 0.0),
+            chosen=(0, 0),
+            chosen_ms=(0.0, 0.0),
+            predicted_ms=0.0,
+            rationale="f(s)=2.000 <= C=4.000 -> defer",
+        )
+        assert render_decision_trail([event]) == (
+            "decision trail: 1 decision(s)\n"
+            "t=0 NAIVE [simulator]: defer\n"
+            "├─ backlog (1, 0) f_i(s)=(2.000, 0.000) ms\n"
+            "└─ rationale: f(s)=2.000 <= C=4.000 -> defer"
+        )
+
+    def test_render_filters(self):
+        events = [
+            make_event(t=0, view="a"),
+            make_event(t=1, view="b"),
+        ]
+        only_b = render_decision_trail(events, view="b")
+        assert "view=b" in only_b and "1 decision(s)" in only_b
+        only_t0 = render_decision_trail(events, step=0)
+        assert "t=0" in only_t0 and "t=1" not in only_t0
+
+    def test_render_empty_messages(self):
+        assert render_decision_trail([]) == "decision trail: no decisions"
+        assert render_decision_trail([], view="v", step=3) == (
+            "decision trail: no decisions matching view=v step=3"
+        )

@@ -96,6 +96,38 @@ class TestViewGauges:
         ] == [2.0, 6.0]
 
 
+class TestCalibrationMetrics:
+    def test_samples_capture_planner_calibration_metrics(self):
+        """`observe_flush` feeds the registry through the ambient
+        recorder, so the sampler picks up the calibration family with no
+        extra wiring -- residual-vs-time curves for free, exactly like
+        the per-view gauges above."""
+        from repro.obs import calibration
+
+        recorder = obs.Recorder()
+        flight = FlightRecorder(recorder, interval_s=60)
+        with obs.install_in_thread(recorder):
+            calibration.observe_flush(
+                "v1", 0, "PS", 2, predicted_ms=2.0, actual_ms=2.5
+            )
+            flight.sample_now()
+            calibration.observe_flush(
+                "v1", 1, "PS", 1, predicted_ms=1.0, actual_ms=0.5
+            )
+            flight.sample_now()
+        sample = flight.samples()[-1]["metrics"]
+        assert sample["planner.calibration.samples"]["value"] == 2
+        assert sample["planner.calibration.abs_err_ms"]["count"] == 2
+        assert sample["planner.calibration.residual"]["min"] == -0.5
+        assert sample["planner.calibration.residual"]["max"] == 0.5
+        assert [
+            v for _, v in flight.series("planner.calibration.samples")
+        ] == [1, 2]
+        assert [
+            v for _, v in flight.series("planner.calibration.abs_err_ms", "max")
+        ] == [0.5, 0.5]
+
+
 class TestBackgroundThread:
     def test_start_stop_collects_samples(self):
         recorder = obs.Recorder()

@@ -138,6 +138,108 @@ class TestViewsRoute:
         assert _views_from_registry(snapshot) == {"v1": {"rounds": 2}}
 
 
+class TestDecisionsRoute:
+    def _make_events(self):
+        from repro.obs.decisions import DecisionEvent
+
+        return [
+            DecisionEvent(
+                t=t,
+                policy="NAIVE",
+                view=view,
+                backlog=(1,),
+                backlog_ms=(2.0,),
+                chosen=chosen,
+                chosen_ms=(2.0 if any(chosen) else 0.0,),
+                predicted_ms=2.0 if any(chosen) else 0.0,
+                rationale="r",
+            )
+            for t, view, chosen in [
+                (0, "a", (0,)),
+                (1, "a", (1,)),
+                (1, "b", (1,)),
+            ]
+        ]
+
+    def test_provider_payload_golden_shape(self):
+        events = self._make_events()
+        server = MetricsServer(
+            obs.Recorder(), port=0, decisions=lambda: events
+        )
+        with server:
+            _, _, body = _get(server.url + "/decisions")
+        payload = json.loads(body)
+        assert set(payload) == {"decisions", "total"}
+        assert payload["total"] == 3
+        assert len(payload["decisions"]) == 3
+        # The per-event JSON shape is the DecisionEvent.to_dict contract;
+        # goldenned here so scrapers can rely on it.
+        assert set(payload["decisions"][0]) == {
+            "t",
+            "policy",
+            "source",
+            "view",
+            "backlog",
+            "backlog_ms",
+            "chosen",
+            "chosen_ms",
+            "predicted_ms",
+            "limit",
+            "rationale",
+            "candidates",
+            "actual_ms",
+        }
+        assert payload["decisions"][1]["chosen"] == [1]
+
+    def test_view_step_and_limit_filters(self):
+        events = self._make_events()
+        server = MetricsServer(
+            obs.Recorder(), port=0, decisions=lambda: events
+        )
+        with server:
+            _, _, body = _get(server.url + "/decisions?view=a")
+            by_view = json.loads(body)
+            _, _, body = _get(server.url + "/decisions?step=1")
+            by_step = json.loads(body)
+            _, _, body = _get(server.url + "/decisions?limit=1")
+            capped = json.loads(body)
+        assert by_view["total"] == 2
+        assert all(e["view"] == "a" for e in by_view["decisions"])
+        assert by_step["total"] == 2
+        assert all(e["t"] == 1 for e in by_step["decisions"])
+        assert capped["total"] == 3  # total counts matches, not the cap
+        assert len(capped["decisions"]) == 1
+        assert capped["decisions"][0]["view"] == "b"  # most recent kept
+
+    def test_falls_back_to_global_log(self):
+        from repro.obs import decisions as decisions_mod
+
+        with decisions_mod.collecting() as log:
+            for event in self._make_events():
+                log.record(event)
+            with MetricsServer(obs.Recorder(), port=0) as server:
+                _, _, body = _get(server.url + "/decisions")
+        assert json.loads(body)["total"] == 3
+
+    def test_404_without_provider_or_log(self):
+        from repro.obs import decisions as decisions_mod
+
+        assert decisions_mod.get_decision_log() is None
+        with MetricsServer(obs.Recorder(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/decisions")
+        assert err.value.code == 404
+        assert "no decision log" in json.loads(err.value.read())["error"]
+
+    def test_400_on_malformed_query(self):
+        server = MetricsServer(obs.Recorder(), port=0, decisions=list)
+        with server:
+            for query in ("?limit=x", "?limit=-1", "?step=x"):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _get(server.url + "/decisions" + query)
+                assert err.value.code == 400
+
+
 class TestQuantileParity:
     """/snapshot and /metrics must report the same quantile set, computed
     from the same reservoir -- SUMMARY_QUANTILES is the single source."""

@@ -150,6 +150,92 @@ class TestProfileFlag:
         assert "cannot write" in capsys.readouterr().err
 
 
+class TestWhyCommand:
+    def test_sample_run_renders_trail(self, capsys):
+        code = main(["why", "--policy", "online", "--horizon", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("decision trail: ")
+        assert "ONLINE" in out
+        assert "backlog" in out and "rationale:" in out
+        # Sample-run decisions are joined by the simulator, so the trail
+        # shows actual-vs-predicted for flush steps (zero residual in
+        # the simulated world).
+        assert "decision(s)" in out
+
+    def test_step_filter(self, capsys):
+        code = main(["why", "--policy", "naive", "--horizon", "10",
+                     "--step", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "t=3" in out
+        assert "t=4" not in out
+
+    def test_reads_decision_log_jsonl(self, tmp_path, capsys):
+        log_path = tmp_path / "decisions.jsonl"
+        code = main(
+            ["--decision-log", str(log_path),
+             "why", "--policy", "naive", "--horizon", "8"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["why", "--log", str(log_path), "--step", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decision trail: 1 decision(s)" in out
+        assert "NAIVE" in out
+
+    def test_rejects_non_decision_log_file(self, tmp_path, capsys):
+        bad = tmp_path / "not-decisions.jsonl"
+        bad.write_text('{"unrelated": true}\n')
+        code = main(["why", "--log", str(bad)])
+        assert code == 2
+        assert "not a decision-log JSONL" in capsys.readouterr().err
+
+    def test_missing_log_file_fails(self, tmp_path, capsys):
+        code = main(["why", "--log", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+
+
+class TestDecisionLogFlag:
+    def test_writes_joined_events_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "decisions.jsonl"
+        code = main(
+            ["--decision-log", str(path),
+             "why", "--policy", "online", "--horizon", "12"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert f"decision events to {path}" in captured.err
+        lines = path.read_text().splitlines()
+        assert len(lines) == 12  # one per non-forced step
+        events = [json.loads(line) for line in lines]
+        assert {e["policy"] for e in events} <= {"ONLINE", "OPT_LGM"}
+        # Every simulator decision is joined: actual == predicted.
+        for event in events:
+            assert event["actual_ms"] == pytest.approx(event["predicted_ms"])
+
+    def test_restores_previous_log(self, tmp_path):
+        from repro.obs import decisions
+
+        assert decisions.get_decision_log() is None
+        main(
+            ["--decision-log", str(tmp_path / "d.jsonl"),
+             "why", "--policy", "naive", "--horizon", "5"]
+        )
+        assert decisions.get_decision_log() is None
+
+    def test_unwritable_destination_fails_fast(self, tmp_path, capsys):
+        code = main(
+            ["--decision-log", str(tmp_path / "missing" / "d.jsonl"),
+             "why", "--policy", "naive", "--horizon", "5"]
+        )
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
 class TestGenerateCommand:
     def test_writes_tbl_files(self, tmp_path, capsys):
         code = main(

@@ -76,6 +76,108 @@ class TestDashboard:
             assert name in text
 
 
+class TestCalibrationSection:
+    def test_absent_without_calibration_metrics(self):
+        dashboard = build_dashboard([_result("plain")])
+        assert "## Calibration" not in dashboard
+
+    def test_renders_residual_table(self):
+        metrics = {
+            "planner.calibration.samples": {"type": "counter", "value": 12},
+            "planner.decisions.emitted": {"type": "counter", "value": 20},
+            "planner.calibration.abs_err_ms": {
+                "type": "histogram",
+                "count": 12,
+                "p50": 0.5,
+                "p95": 2.0,
+            },
+            "planner.calibration.rel_err": {
+                "type": "histogram",
+                "count": 12,
+                "p50": 0.1,
+                "p95": 0.4,
+            },
+            "planner.calibration.residual": {
+                "type": "histogram",
+                "count": 12,
+                "mean": -0.25,
+            },
+            "planner.calibration.drift_alerts": {
+                "type": "counter",
+                "value": 2,
+            },
+        }
+        dashboard = build_dashboard(
+            [_result("calibrated", metrics=metrics), _result("plain")]
+        )
+        assert "## Calibration" in dashboard
+        section = dashboard.split("## Calibration")[1].split("\n##")[0]
+        row = next(
+            line
+            for line in section.splitlines()
+            if line.startswith("| calibrated")
+        )
+        assert "| 12 |" in row and "| 20 |" in row
+        assert "0.500" in row and "2.000" in row
+        assert "-0.250" in row and "| 2 |" in row
+        # The untraced benchmark contributes no calibration row.
+        assert "| plain" not in section
+
+
+class TestCompactMetrics:
+    def test_small_fleets_pass_through_untouched(self):
+        from benchmarks._report import compact_metrics
+
+        metrics = {
+            f"ivm.view.v{i}.rounds": {"type": "counter", "value": i}
+            for i in range(5)
+        }
+        metrics["engine.queries"] = {"type": "counter", "value": 3}
+        assert compact_metrics(metrics) == metrics
+
+    def test_fleet_scale_folds_per_view_series(self):
+        from benchmarks._report import compact_metrics
+
+        metrics = {"engine.queries": {"type": "counter", "value": 3}}
+        for i in range(40):
+            metrics[f"ivm.view.v{i:03d}.rounds"] = {
+                "type": "counter",
+                "value": 2,
+            }
+            metrics[f"ivm.view.v{i:03d}.round_ms"] = {
+                "type": "histogram",
+                "count": 2,
+                "total": float(i),
+            }
+        compacted = compact_metrics(metrics, max_series=32)
+        assert compacted["engine.queries"] == metrics["engine.queries"]
+        assert not any(k.startswith("ivm.view.v") for k in compacted)
+        rounds = compacted["ivm.view._fleet.rounds"]
+        assert rounds == {
+            "type": "summary",
+            "views": 40,
+            "sum": 80,
+            "min": 2,
+            "max": 2,
+        }
+        # Histograms fold on their total, preserving the fleet-wide sum.
+        round_ms = compacted["ivm.view._fleet.round_ms"]
+        assert round_ms["sum"] == pytest.approx(sum(range(40)))
+        assert round_ms["max"] == 39.0
+
+    def test_committed_multiview_result_is_folded(self):
+        payload = json.loads(
+            (RESULTS_DIR / "multiview_scale.json").read_text()
+        )
+        assert not any(
+            k.startswith("ivm.view.") and not k.startswith("ivm.view._fleet.")
+            for k in payload["metrics"]
+        )
+        fleet = payload["metrics"]["ivm.view._fleet.rounds"]
+        assert fleet["type"] == "summary"
+        assert fleet["views"] > 32
+
+
 class TestHtml:
     def test_tables_become_html_tables(self):
         markdown = build_dashboard([_result("fig1")])

@@ -40,7 +40,9 @@ SRC = ROOT / "src"
 DOCS = ROOT / "docs" / "observability.md"
 
 #: First dotted segments that mark a string as a metric name.
-FAMILIES = ("astar", "online", "simulator", "engine", "ivm", "slo", "cli")
+FAMILIES = (
+    "astar", "online", "simulator", "engine", "ivm", "slo", "cli", "planner",
+)
 
 #: A whole-string dotted metric name (``*`` allowed for f-string holes).
 _NAME_RE = re.compile(
