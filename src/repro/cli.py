@@ -33,6 +33,20 @@ Commands
     small sample simulation on the paper's workload.  ``--view`` and
     ``--step`` filter the trail.
 
+``control-log``
+    Render the adaptive runtime's control trail as a text tree: every
+    actuation a governor made (policy switches, worker-pool resizes,
+    block-size changes) with its reason and the signal values it acted
+    on.  Reads a ``--control-log`` JSONL file with ``--log``; without
+    one it runs a small adaptive sample on the paper's workload under
+    SLO pressure.  ``--governor`` and ``--view`` filter the trail.
+
+``control-ablation``
+    Run the closed-loop ablation: baseline (no controller), the full
+    loop, and one run per disabled governor over the same bursty
+    SLO-pressure workload, then print the variants and each governor's
+    ranked contribution (breaches and wall time vs the full loop).
+
 Observability (any subcommand)
 ------------------------------
 
@@ -67,6 +81,12 @@ Observability (any subcommand)
     decision (simulator or live maintenance) is captured, joined with
     its executed cost, and dumped to FILE as JSONL on exit -- the input
     format of ``repro why --log FILE``.  Independent of ``--metrics``.
+
+``--control-log FILE``
+    Install a global control log for the run: every actuation the
+    adaptive runtime's governors make is captured and dumped to FILE as
+    JSONL on exit -- the input format of ``repro control-log --log
+    FILE``.  Independent of ``--metrics``.
 
 Execution (any subcommand)
 --------------------------
@@ -175,6 +195,16 @@ def _obs_flags() -> argparse.ArgumentParser:
         ),
     )
     parent.add_argument(
+        "--control-log",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help=(
+            "capture every actuation the adaptive runtime's governors "
+            "make and dump the trail to FILE as JSONL on exit "
+            "(readable with `repro control-log --log FILE`)"
+        ),
+    )
+    parent.add_argument(
         "--workers",
         metavar="N",
         type=int,
@@ -217,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
         flight_interval_ms=50.0,
         profile=None,
         decision_log=None,
+        control_log=None,
         workers=None,
         parallel_backend=None,
     )
@@ -348,6 +379,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--horizon", type=int, default=60,
         help="sample-workload length in steps (ignored with --log)",
     )
+
+    control_log = sub.add_parser(
+        "control-log",
+        help=(
+            "render the adaptive runtime's control trail: every governor "
+            "actuation with its reason and signal values"
+        ),
+        parents=[obs_flags],
+    )
+    control_log.add_argument(
+        "--log",
+        metavar="FILE",
+        default=None,
+        help=(
+            "read control events from a --control-log JSONL file instead "
+            "of running the sample adaptive workload"
+        ),
+    )
+    control_log.add_argument(
+        "--governor",
+        choices=["policy", "workers", "block_size"],
+        default=None,
+        help="only events from this governor",
+    )
+    control_log.add_argument(
+        "--view", default=None, help="only events for this view"
+    )
+    control_log.add_argument("--scale", type=float, default=0.01)
+    control_log.add_argument(
+        "--horizon", type=int, default=80,
+        help="sample-workload length in steps (ignored with --log)",
+    )
+
+    control_ablation = sub.add_parser(
+        "control-ablation",
+        help=(
+            "run the closed-loop ablation (baseline + full loop + one "
+            "run per disabled governor) and print the ranked report"
+        ),
+        parents=[obs_flags],
+    )
+    control_ablation.add_argument("--scale", type=float, default=0.01)
+    control_ablation.add_argument(
+        "--horizon", type=int, default=120,
+        help="steps per variant run",
+    )
+    control_ablation.add_argument(
+        "--seed", type=int, default=11, help="workload seed"
+    )
     return parser
 
 
@@ -365,11 +445,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         "explain": _run_explain,
         "timeline": _run_timeline,
         "why": _run_why,
+        "control-log": _run_control_log,
+        "control-ablation": _run_control_ablation,
     }[args.command]
     if args.profile:
         handler = _with_profile_sink(handler, args.profile)
     if args.decision_log:
         handler = _with_decision_log(handler, args.decision_log)
+    if args.control_log:
+        handler = _with_control_log(handler, args.control_log)
     observed = (
         args.trace
         or args.metrics
@@ -478,6 +562,46 @@ def _with_decision_log(handler, path):
     return wrapped
 
 
+def _with_control_log(handler, path):
+    """Wrap a subcommand handler with the global control-event log.
+
+    Every actuation the adaptive runtime's governors make during the run
+    is captured; the trail streams to ``path`` as JSONL on exit (one
+    event dict per line, the input of ``repro control-log --log``).  The
+    previous log (none, normally) is restored afterwards.
+    """
+
+    def wrapped(args) -> int:
+        import json
+
+        from repro.control import events as control_events
+
+        try:
+            # Fail fast, same contract as --profile/--decision-log.
+            out = open(path, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write {path!r}: {exc}", file=sys.stderr)
+            return 2
+        log = control_events.ControlLog()
+        previous = control_events.set_control_log(log)
+        try:
+            return handler(args)
+        finally:
+            control_events.set_control_log(previous)
+            count = 0
+            for event in log.events():
+                out.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+                count += 1
+            out.close()
+            dropped = f" ({log.dropped} dropped)" if log.dropped else ""
+            print(
+                f"[obs] wrote {count} control events to {path}{dropped}",
+                file=sys.stderr,
+            )
+
+    return wrapped
+
+
 def _run_observed(handler, args) -> int:
     """Run ``handler`` under a fresh recorder; report metrics/trace on exit.
 
@@ -524,7 +648,8 @@ def _run_observed(handler, args) -> int:
             return 2
         print(
             f"[obs] serving metrics on http://127.0.0.1:{port}/metrics "
-            f"(also /healthz, /snapshot, /samples, /views, /decisions)",
+            f"(also /healthz, /snapshot, /samples, /views, /decisions, "
+            f"/control)",
             file=sys.stderr,
         )
     if flight is not None:
@@ -784,6 +909,53 @@ def _why_sample_run(args):
     with decisions.collecting() as log:
         simulate_policy(problem, policy)
     return log.events()
+
+
+def _run_control_log(args) -> int:
+    import json
+
+    from repro.control import events as control_events
+
+    if args.log:
+        try:
+            with open(args.log, encoding="utf-8") as fh:
+                events = [
+                    control_events.ControlEvent.from_dict(json.loads(line))
+                    for line in fh
+                    if line.strip()
+                ]
+        except OSError as exc:
+            print(f"error: cannot read {args.log!r}: {exc}", file=sys.stderr)
+            return 2
+        except (KeyError, ValueError) as exc:
+            print(
+                f"error: {args.log!r} is not a control-log JSONL file: "
+                f"{exc}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        from repro.control.ablation import run_control_sample
+
+        events = run_control_sample(
+            scale=args.scale, horizon=args.horizon
+        )
+    print(
+        control_events.render_control_log(
+            events, governor=args.governor, view=args.view
+        )
+    )
+    return 0
+
+
+def _run_control_ablation(args) -> int:
+    from repro.control.ablation import run_control_ablation
+
+    result = run_control_ablation(
+        scale=args.scale, horizon=args.horizon, seed=args.seed
+    )
+    print(result.format())
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

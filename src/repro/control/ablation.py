@@ -1,0 +1,293 @@
+"""Controller ablation harness: does the closed loop earn its keep?
+
+One SLO-pressure workload (the paper view under a bursty 80:1 arrival
+mix, constraint C sized so the ONLINE policy rides the near-breach
+band), five runs:
+
+* ``baseline`` -- no controller attached at all;
+* ``full`` -- all three governors on;
+* ``no-policy`` / ``no-workers`` / ``no-block`` -- one governor
+  disabled each.
+
+Every run replays the identical modification stream (same seeds), so
+differences in ``slo.breaches`` and wall time are attributable to the
+governors alone.  The report ranks each governor by what disabling it
+costs relative to the full loop -- the format the ROADMAP's
+closed-loop item asks for: baseline plus one run per disabled
+controller, ranked importance.
+
+Breaches are counted through the :func:`repro.obs.slo.alerts` hub (not
+the metrics registry), so the harness works identically standalone,
+under the benchmark recorder, and in CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.control import events as control_events
+from repro.control.controller import build_controller
+from repro.control.events import ControlEvent
+from repro.obs import slo
+
+#: (name, governor flags) per run; ``None`` = no controller attached.
+VARIANTS: tuple[tuple[str, dict | None], ...] = (
+    ("baseline", None),
+    ("full", {"policy": True, "workers": True, "block": True}),
+    ("no-policy", {"policy": False, "workers": True, "block": True}),
+    ("no-workers", {"policy": True, "workers": False, "block": True}),
+    ("no-block", {"policy": True, "workers": True, "block": False}),
+)
+
+#: Which variant isolates each governor (the run where ONLY it is off).
+GOVERNOR_VARIANT = {
+    "policy": "no-policy",
+    "workers": "no-workers",
+    "block_size": "no-block",
+}
+
+
+@dataclass
+class VariantRun:
+    """One run's outcome: SLO counts, wall time, and the control trail."""
+
+    name: str
+    breaches: int
+    near_breaches: int
+    steps: int
+    wall_s: float
+    final_workers: int
+    final_block: int | None
+    events: list[ControlEvent] = field(default_factory=list)
+    view_contents: tuple = ()
+    charge_snapshot: dict = field(default_factory=dict)
+
+    def actuations(self, governor: str) -> int:
+        return sum(
+            1 for e in self.events if e.governor == governor and e.applied
+        )
+
+
+@dataclass
+class ControlAblationResult:
+    """All variants plus the ranked governor-importance table."""
+
+    variants: dict[str, VariantRun]
+    limit: float
+    params: dict
+
+    def ranking(self) -> list[tuple[str, int, float]]:
+        """``(governor, breach_cost, wall_cost_s)`` of disabling each
+        governor relative to the full loop, most important first."""
+        full = self.variants["full"]
+        rows = []
+        for governor, variant in GOVERNOR_VARIANT.items():
+            run = self.variants[variant]
+            rows.append(
+                (
+                    governor,
+                    run.breaches - full.breaches,
+                    run.wall_s - full.wall_s,
+                )
+            )
+        rows.sort(key=lambda r: (-r[1], -r[2], r[0]))
+        return rows
+
+    def format(self) -> str:
+        lines = [
+            "Controller ablation: SLO-pressure workload "
+            f"(C={self.limit:.1f} ms, {self.params['horizon']} steps, "
+            f"bursty x{self.params['burst_factor']} every "
+            f"~{self.params['burst_every']})",
+            "",
+            f"{'variant':<11} {'breaches':>8} {'near':>6} {'wall_s':>8} "
+            f"{'actuations':>10} {'workers':>7} {'block':>6}",
+        ]
+        for name, run in self.variants.items():
+            block = "row" if run.final_block is None else str(run.final_block)
+            lines.append(
+                f"{name:<11} {run.breaches:>8d} {run.near_breaches:>6d} "
+                f"{run.wall_s:>8.3f} {len([e for e in run.events if e.applied]):>10d} "
+                f"{run.final_workers:>7d} {block:>6}"
+            )
+        lines.append("")
+        lines.append("Governor importance (cost of disabling it, vs full):")
+        for rank, (governor, d_breach, d_wall) in enumerate(
+            self.ranking(), start=1
+        ):
+            lines.append(
+                f"{rank}. {governor:<11} {d_breach:+d} breaches  "
+                f"{d_wall:+.3f} s wall"
+            )
+        return "\n".join(lines)
+
+
+def _pressure_workload(scale: float, horizon: int, seed: int):
+    """Arrivals + costs + a constraint that keeps ONLINE near the band."""
+    from repro.experiments import common
+    from repro.workloads.arrivals import bursty_arrivals
+
+    costs = common.cost_functions(scale=scale)
+    limit = common.default_limit(costs)
+    arrivals = bursty_arrivals(
+        common.ARRIVAL_MIX,
+        horizon,
+        burst_every=_BURST_EVERY,
+        burst_factor=_BURST_FACTOR,
+        seed=seed,
+    )
+    return arrivals, costs, limit
+
+
+_BURST_EVERY = 15
+_BURST_FACTOR = 8
+
+
+def _run_variant(
+    name: str,
+    flags: dict | None,
+    arrivals,
+    costs,
+    limit: float,
+    scale: float,
+    seed: int,
+    workers: int,
+    block_size: int,
+) -> VariantRun:
+    from repro.core.online import OnlinePolicy
+    from repro.experiments import common
+    from repro.ivm.multiview import MaintenanceCoordinator, ViewConfig
+
+    setup = common.build_setup(
+        scale=scale, update_seed=seed, block_size=block_size
+    )
+    # build_setup materializes its own view; this harness drives the
+    # coordinator's copy instead, so drop the spare subscription.
+    setup.view.close()
+    db = setup.database
+    db.set_workers(workers)
+    coordinator = MaintenanceCoordinator(db)
+    coordinator.add_view(
+        ViewConfig(
+            name="paper_view",
+            query=common.paper_view_spec(),
+            policy=OnlinePolicy(),
+            cost_functions=costs,
+            limit=limit,
+            scheduled_aliases=common.SCHEDULED_ALIASES,
+        )
+    )
+    controller = (
+        build_controller(coordinator, **flags) if flags is not None else None
+    )
+    breaches = 0
+    near = 0
+
+    def count(event) -> None:
+        nonlocal breaches, near
+        if event.source != "ivm:paper_view":
+            return
+        if event.kind == slo.BREACH:
+            breaches += 1
+        else:
+            near += 1
+
+    try:
+        # A fresh per-variant recorder: the worker/block governors read
+        # engine.parallel.* / engine.block.* deltas from the registry, so
+        # without one they would be blind (and variants would share
+        # metric state under an outer benchmark recorder).
+        with obs.recording(), control_events.collecting() as log, \
+                slo.alerts(count):
+            if controller is not None:
+                controller.attach()
+            start = time.perf_counter()
+            try:
+                for t, step_arrivals in enumerate(arrivals):
+                    setup.apply_arrivals(step_arrivals)
+                    coordinator.step(t)
+                    if controller is not None:
+                        controller.tick(t)
+            finally:
+                if controller is not None:
+                    controller.detach()
+            wall = time.perf_counter() - start
+        view = coordinator.maintainer("paper_view").view
+        return VariantRun(
+            name=name,
+            breaches=breaches,
+            near_breaches=near,
+            steps=len(arrivals),
+            wall_s=wall,
+            final_workers=db.workers,
+            final_block=db.block_size,
+            events=log.events(),
+            view_contents=tuple(sorted(view.contents().items())),
+            charge_snapshot=dict(db.counter.snapshot()),
+        )
+    finally:
+        db.close()
+
+
+def run_control_ablation(
+    scale: float = 0.01,
+    horizon: int = 120,
+    seed: int = 11,
+    workers: int = 1,
+    block_size: int = 2048,
+) -> ControlAblationResult:
+    """Run the five-variant ablation; see the module docstring.
+
+    ``block_size`` is deliberately oversized for the workload so the
+    block governor has real slack to reclaim, and ``workers`` starts the
+    pool small so the worker governor has headroom both ways.
+    """
+    arrivals, costs, limit = _pressure_workload(scale, horizon, seed)
+    variants: dict[str, VariantRun] = {}
+    for name, flags in VARIANTS:
+        variants[name] = _run_variant(
+            name, flags, arrivals, costs, limit,
+            scale=scale, seed=seed, workers=workers, block_size=block_size,
+        )
+    return ControlAblationResult(
+        variants=variants,
+        limit=limit,
+        params={
+            "scale": scale,
+            "horizon": horizon,
+            "seed": seed,
+            "workers": workers,
+            "block_size": block_size,
+            "burst_every": _BURST_EVERY,
+            "burst_factor": _BURST_FACTOR,
+        },
+    )
+
+
+def run_control_sample(
+    scale: float = 0.01,
+    horizon: int = 80,
+    seed: int = 11,
+    workers: int = 1,
+    block_size: int = 2048,
+) -> list[ControlEvent]:
+    """One adaptive run (all governors on) for ``repro control-log``.
+
+    Returns the control trail; when a process-global control log is
+    installed (the ``--control-log`` flag), the events are fed into it
+    too, so the rendered trail and the dumped JSONL agree.
+    """
+    arrivals, costs, limit = _pressure_workload(scale, horizon, seed)
+    run = _run_variant(
+        "full",
+        {"policy": True, "workers": True, "block": True},
+        arrivals, costs, limit,
+        scale=scale, seed=seed, workers=workers, block_size=block_size,
+    )
+    installed = control_events.get_control_log()
+    if installed is not None:
+        for event in run.events:
+            installed.record(event)
+    return run.events

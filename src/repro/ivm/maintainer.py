@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
-from repro.obs import attrib, decisions
+from repro.obs import attrib, decisions, slo
 from repro.obs import calibration as obs_calibration
 from repro.core.costfuncs import CostFunction
 from repro.core.policies import Policy, PolicyError
@@ -123,6 +123,21 @@ class ViewMaintainer:
     def pre_state(self) -> tuple[int, ...]:
         """Current per-alias pending counts (after a pull)."""
         return tuple(self.view.deltas[a].size for a in self.aliases)
+
+    def set_policy(self, policy: Policy) -> Policy:
+        """Swap the scheduling policy mid-run; returns the previous one.
+
+        The actuation path of the adaptive control layer
+        (:mod:`repro.control`): the incoming policy is reset against
+        this view's cost functions and limit, so estimator state starts
+        fresh while the backlog and the view itself carry over
+        untouched.  Safe between rounds (plan/execute pairs must not be
+        split across a swap).
+        """
+        previous = self.policy
+        self.policy = policy
+        policy.reset(self.cost_functions, self.limit)
+        return previous
 
     def predicted_refresh_cost(self, state: Sequence[int]) -> float:
         """``f(s)`` under the calibrated cost functions."""
@@ -221,6 +236,21 @@ class ViewMaintainer:
                 f"violates C={self.limit}"
             )
         recorder = obs.get_recorder()
+        if recorder is not None or slo.hub_active():
+            # The same quantity the simulator's trace scores: the margin
+            # of the post-arrival, pre-action state.  A backlog the
+            # policy let ride into the near-breach band (or a burst that
+            # blew past C before the policy could act) surfaces here as
+            # slo.* metrics and alert-hub events -- the feedback signal
+            # the control layer's policy governor consumes.  Purely
+            # observational: cost functions are evaluated, nothing is
+            # charged.
+            slo.observe_refresh(
+                self.limit,
+                self.predicted_refresh_cost(pre),
+                t=t,
+                source=f"ivm:{self.view.name}",
+            )
         predicted = self.predicted_refresh_cost(action)
         counter = self.view.database.counter
         if not any(action):

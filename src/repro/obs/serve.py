@@ -29,6 +29,13 @@ exit summary.  :class:`MetricsServer` wraps an
     :class:`~repro.obs.decisions.DecisionLog` (the one ``--decision-log``
     installs), so the CLI's serve-then-run ordering works without
     wiring.  404 when neither exists.
+``/control``
+    The adaptive runtime's control trail as JSON (``?governor=``,
+    ``?view=``, ``?limit=`` filters) -- every actuation the governors
+    made, with its reason and signal values.  Backed by a ``control``
+    provider callable when one is attached; otherwise served from the
+    process-global :class:`~repro.control.events.ControlLog` (the one
+    ``--control-log`` installs).  404 when neither exists.
 
 Zero dependencies, thread-safe against the instrumented run (the metric
 classes lock their own state), and activated from the CLI with the
@@ -57,6 +64,9 @@ VIEWS_DEFAULT_LIMIT = 100
 
 #: Default event cap for the ``/decisions`` route (most recent kept).
 DECISIONS_DEFAULT_LIMIT = 100
+
+#: Default event cap for the ``/control`` route (most recent kept).
+CONTROL_DEFAULT_LIMIT = 100
 
 
 def _views_from_registry(snapshot: dict) -> dict[str, dict]:
@@ -94,6 +104,7 @@ class _ObsServer(ThreadingHTTPServer):
     sampler: FlightRecorder | None
     views_provider: "Callable[[], dict] | None"
     decisions_provider: "Callable[[], list] | None"
+    control_provider: "Callable[[], list] | None"
     started_at: float
 
 
@@ -215,6 +226,47 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 events = []
             self._reply_json(200, {"decisions": events, "total": total})
+        elif path == "/control":
+            try:
+                limit = int(query.get("limit", [CONTROL_DEFAULT_LIMIT])[0])
+            except ValueError:
+                self._reply_json(400, {"error": "limit must be an integer"})
+                return
+            if limit < 0:
+                self._reply_json(400, {"error": "limit must be non-negative"})
+                return
+            governor = query.get("governor", [None])[0]
+            view = query.get("view", [None])[0]
+            provider = self.server.control_provider
+            if provider is not None:
+                raw = provider()
+            else:
+                # Deferred: repro.obs must stay importable without the
+                # control package having been initialized.
+                from repro.control import events as control_mod
+
+                log = control_mod.get_control_log()
+                if log is None:
+                    self._reply_json(
+                        404, {"error": "no control log attached"}
+                    )
+                    return
+                raw = log.events()
+            events = [
+                e.to_dict() if hasattr(e, "to_dict") else e for e in raw
+            ]
+            events = [
+                e
+                for e in events
+                if (governor is None or e.get("governor") == governor)
+                and (view is None or e.get("view") == view)
+            ]
+            total = len(events)
+            if limit:
+                events = events[-limit:]  # most recent actuations win
+            else:
+                events = []
+            self._reply_json(200, {"control": events, "total": total})
         else:
             self._reply_json(
                 404,
@@ -227,6 +279,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "/samples",
                         "/views",
                         "/decisions",
+                        "/control",
                     ],
                 },
             )
@@ -278,6 +331,11 @@ class MetricsServer:
         the ``/decisions`` route (a list of event dicts or
         :class:`~repro.obs.decisions.DecisionEvent` objects); without one
         the route reads the process-global decision log at request time.
+    control:
+        Optional zero-argument callable returning the control trail for
+        the ``/control`` route (a list of event dicts or
+        :class:`~repro.control.events.ControlEvent` objects); without one
+        the route reads the process-global control log at request time.
     """
 
     def __init__(
@@ -288,6 +346,7 @@ class MetricsServer:
         sampler: FlightRecorder | None = None,
         views: "Callable[[], dict] | None" = None,
         decisions: "Callable[[], list] | None" = None,
+        control: "Callable[[], list] | None" = None,
     ):
         self.recorder = recorder
         self.requested_port = int(port)
@@ -295,6 +354,7 @@ class MetricsServer:
         self.sampler = sampler
         self.views = views
         self.decisions = decisions
+        self.control = control
         self._server: _ObsServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -307,6 +367,7 @@ class MetricsServer:
         server.sampler = self.sampler
         server.views_provider = self.views
         server.decisions_provider = self.decisions
+        server.control_provider = self.control
         server.started_at = time.time()
         self._server = server
         self._thread = threading.Thread(

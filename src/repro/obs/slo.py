@@ -28,6 +28,7 @@ counters and the post-run table can never disagree.
 from __future__ import annotations
 
 import threading
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
@@ -137,13 +138,59 @@ def alerts(callback: Callable[[SloEvent], None]):
     return _hub.scoped(callback)
 
 
+def hub_active() -> bool:
+    """True when at least one alert callback is registered.
+
+    Observers that must pay to *produce* an observation (the live
+    maintainer evaluates cost functions per round) use this to skip the
+    work when neither a recorder nor any alert subscriber would see it.
+    """
+    return _hub.active()
+
+
+_invalid_limit_warned = False
+
+
+def _coerce_limit(limit: float) -> float:
+    """Clamp a non-positive constraint to 0.0, warning once per process.
+
+    A zero or negative deadline is a configuration error: no refresh can
+    beat it.  The old behavior silently disabled the near-breach band
+    (``limit > 0`` guarded the whole branch), which turned exactly the
+    misconfigured runs -- the ones a controller most needs to see --
+    into dark signals.  Clamping to 0 keeps the classification total:
+    any positive cost is a breach, and a zero cost sits on the (empty)
+    band boundary and reports ``NEAR_BREACH``, so downstream consumers
+    always hear about a run with no headroom at all.
+    """
+    global _invalid_limit_warned
+    if limit > 0:
+        return float(limit)
+    if not _invalid_limit_warned:
+        _invalid_limit_warned = True
+        warnings.warn(
+            f"SLO limit {limit!r} is not positive; clamping to 0.0 "
+            f"(every observation will classify as a breach or "
+            f"near-breach -- fix the constraint C)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return 0.0
+
+
 def classify(
     limit: float, cost: float, near_fraction: float = DEFAULT_NEAR_FRACTION
 ) -> str | None:
-    """``BREACH``, ``NEAR_BREACH``, or ``None`` for one cost vs limit."""
+    """``BREACH``, ``NEAR_BREACH``, or ``None`` for one cost vs limit.
+
+    A non-positive ``limit`` is clamped to 0.0 with a one-shot warning
+    (see :func:`_coerce_limit`); the near-breach band then degenerates
+    to the single point 0, so the signal never goes dark.
+    """
+    limit = _coerce_limit(limit)
     if cost > limit + _EPS:
         return BREACH
-    if limit > 0 and cost >= near_fraction * limit - _EPS:
+    if cost >= near_fraction * limit - _EPS:
         return NEAR_BREACH
     return None
 
@@ -163,6 +210,7 @@ def observe_refresh(
     """
     from repro import obs  # local import: obs.__init__ imports this module
 
+    limit = _coerce_limit(limit)
     margin = limit - cost
     recorder = obs.get_recorder()
     if recorder is not None:

@@ -1,0 +1,370 @@
+"""Governor unit tests: synthetic signals in, bounded actuations out."""
+
+import pytest
+
+from repro import obs
+from repro.control import events as control_events
+from repro.control.governors import (
+    NAIVE,
+    ONLINE,
+    RECEDING,
+    BlockSizeGovernor,
+    PolicyGovernor,
+    WorkerGovernor,
+    _mode_of,
+)
+from repro.core.naive import NaivePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.receding import RecedingHorizonPolicy
+from repro.obs import calibration as obs_calibration
+from repro.obs import slo
+
+
+class FakeMaintainer:
+    def __init__(self, policy):
+        self.policy = policy
+
+    def set_policy(self, policy):
+        previous = self.policy
+        self.policy = policy
+        return previous
+
+
+class FakeCoordinator:
+    def __init__(self, **maintainers):
+        self._maintainers = maintainers
+
+    def maintainer(self, name):
+        return self._maintainers[name]
+
+
+class FakeDatabase:
+    def __init__(self, workers=1, block_size=None):
+        self._workers = workers
+        self.block_size = block_size
+
+    @property
+    def workers(self):
+        return self._workers
+
+    def set_workers(self, workers):
+        self._workers = int(workers)
+        return self._workers
+
+    def set_block_size(self, block_size):
+        self.block_size = block_size
+        return self.block_size
+
+
+class TestModeOf:
+    def test_known_policies(self):
+        assert _mode_of(NaivePolicy()) == NAIVE
+        assert _mode_of(OnlinePolicy()) == ONLINE
+        assert _mode_of(RecedingHorizonPolicy()) == RECEDING
+
+
+class TestPolicyGovernor:
+    def _pressure(self, governor, view, steps):
+        for t in steps:
+            governor._on_slo(
+                slo.SloEvent(
+                    kind=slo.BREACH, limit=10.0, cost=12.0, t=t,
+                    source=f"ivm:{view}",
+                )
+            )
+
+    def test_escalates_to_naive_under_pressure(self):
+        maintainer = FakeMaintainer(OnlinePolicy())
+        governor = PolicyGovernor(
+            FakeCoordinator(v=maintainer), escalate_after=3, window=10
+        )
+        with control_events.collecting() as log:
+            self._pressure(governor, "v", [4, 5, 6])
+            governor.tick(7)
+        assert isinstance(maintainer.policy, NaivePolicy)
+        (event,) = log.events()
+        assert (event.governor, event.old, event.new) == ("policy", ONLINE, NAIVE)
+        assert event.view == "v"
+        assert event.signals["pressure_events"] == 3.0
+
+    def test_pressure_below_threshold_holds(self):
+        maintainer = FakeMaintainer(OnlinePolicy())
+        governor = PolicyGovernor(
+            FakeCoordinator(v=maintainer), escalate_after=3, window=10
+        )
+        with control_events.collecting() as log:
+            self._pressure(governor, "v", [4, 5])
+            governor.tick(6)
+        assert isinstance(maintainer.policy, OnlinePolicy)
+        assert not log.events()
+
+    def test_stale_pressure_outside_window_ignored(self):
+        maintainer = FakeMaintainer(OnlinePolicy())
+        governor = PolicyGovernor(
+            FakeCoordinator(v=maintainer), escalate_after=3, window=5
+        )
+        with control_events.collecting() as log:
+            self._pressure(governor, "v", [1, 2, 3])
+            governor.tick(50)  # all events fell out of the window
+        assert isinstance(maintainer.policy, OnlinePolicy)
+        assert not log.events()
+
+    def test_drift_moves_online_to_receding(self):
+        maintainer = FakeMaintainer(OnlinePolicy())
+        governor = PolicyGovernor(FakeCoordinator(v=maintainer))
+        with control_events.collecting() as log:
+            governor._on_drift(
+                obs_calibration.DriftEvent(
+                    view="v", alias="PS", t=9, rolling_rel_err=0.8,
+                    threshold=0.5, window=16,
+                )
+            )
+            governor.tick(10)
+        assert isinstance(maintainer.policy, RecedingHorizonPolicy)
+        (event,) = log.events()
+        assert event.new == RECEDING
+
+    def test_quiet_cooldown_relaxes_back(self):
+        maintainer = FakeMaintainer(OnlinePolicy())
+        governor = PolicyGovernor(
+            FakeCoordinator(v=maintainer),
+            escalate_after=1, window=5, cooldown=10,
+        )
+        with control_events.collecting() as log:
+            self._pressure(governor, "v", [2])
+            governor.tick(3)
+            assert isinstance(maintainer.policy, NaivePolicy)
+            governor.tick(4)  # still within cooldown: hold
+            assert isinstance(maintainer.policy, NaivePolicy)
+            governor.tick(13)  # quiet for >= cooldown: relax
+        assert isinstance(maintainer.policy, OnlinePolicy)
+        assert [e.new for e in log.events()] == [NAIVE, ONLINE]
+
+    def test_removed_view_is_skipped(self):
+        governor = PolicyGovernor(FakeCoordinator(), escalate_after=1)
+        with control_events.collecting() as log:
+            self._pressure(governor, "gone", [1])
+            governor.tick(2)  # KeyError from the coordinator: no crash
+        assert not log.events()
+
+    def test_ignores_non_ivm_sources(self):
+        maintainer = FakeMaintainer(OnlinePolicy())
+        governor = PolicyGovernor(
+            FakeCoordinator(v=maintainer), escalate_after=1
+        )
+        governor._on_slo(
+            slo.SloEvent(
+                kind=slo.BREACH, limit=10.0, cost=12.0, t=1,
+                source="pubsub:v",
+            )
+        )
+        with control_events.collecting() as log:
+            governor.tick(2)
+        assert not log.events()
+
+    def test_attach_via_live_alert_hub(self):
+        maintainer = FakeMaintainer(OnlinePolicy())
+        governor = PolicyGovernor(
+            FakeCoordinator(paper=maintainer), escalate_after=2, window=10
+        )
+        governor.attach()
+        try:
+            slo.observe_refresh(10.0, 12.0, t=1, source="ivm:paper")
+            slo.observe_refresh(10.0, 12.0, t=2, source="ivm:paper")
+            with control_events.collecting():
+                governor.tick(3)
+        finally:
+            governor.detach()
+        assert isinstance(maintainer.policy, NaivePolicy)
+
+    def test_disabled_never_attaches_or_acts(self):
+        maintainer = FakeMaintainer(OnlinePolicy())
+        governor = PolicyGovernor(
+            FakeCoordinator(paper=maintainer), enabled=False, escalate_after=1
+        )
+        governor.attach()
+        try:
+            slo.observe_refresh(10.0, 12.0, t=1, source="ivm:paper")
+            governor.tick(2)
+        finally:
+            governor.detach()
+        assert isinstance(maintainer.policy, OnlinePolicy)
+
+    def test_counts_switches_metric(self):
+        maintainer = FakeMaintainer(OnlinePolicy())
+        governor = PolicyGovernor(
+            FakeCoordinator(v=maintainer), escalate_after=1
+        )
+        with obs.recording() as rec, control_events.collecting():
+            self._pressure(governor, "v", [1])
+            governor.tick(2)
+        assert rec.registry.get("control.policy.switches").value == 1
+
+    def test_validates_thresholds(self):
+        with pytest.raises(ValueError):
+            PolicyGovernor(FakeCoordinator(), escalate_after=0)
+        with pytest.raises(ValueError):
+            PolicyGovernor(FakeCoordinator(), window=0)
+
+
+class TestWorkerGovernor:
+    def test_grows_on_merge_wait(self):
+        db = FakeDatabase(workers=2)
+        governor = WorkerGovernor(db, max_workers=4, grow_wait_ms=1.0)
+        with obs.recording() as rec, control_events.collecting() as log:
+            rec.counter("engine.parallel.tasks", 8)
+            for _ in range(4):
+                rec.observe("engine.parallel.merge_wait_ms", 3.0)
+            rec.gauge_max("engine.parallel.queue_depth", 7)
+            governor.tick(1)
+        assert db.workers == 3
+        (event,) = log.events()
+        assert (event.old, event.new) == (2, 3)
+        assert event.signals["merge_wait_ms_mean"] == 3.0
+        assert event.signals["queue_depth_peak"] == 7.0
+        assert rec.registry.get("control.workers.resizes").value == 1
+        assert rec.registry.get("control.workers.size").value == 3
+
+    def test_shrinks_when_pool_idles(self):
+        db = FakeDatabase(workers=3)
+        governor = WorkerGovernor(db, min_workers=1, shrink_wait_ms=0.05)
+        with obs.recording() as rec, control_events.collecting():
+            rec.counter("engine.parallel.tasks", 10)
+            rec.observe("engine.parallel.merge_wait_ms", 0.0)
+            governor.tick(1)
+        assert db.workers == 2
+
+    def test_holds_without_task_flow(self):
+        db = FakeDatabase(workers=3)
+        governor = WorkerGovernor(db)
+        with obs.recording(), control_events.collecting() as log:
+            governor.tick(1)  # no metrics at all this interval
+        assert db.workers == 3
+        assert not log.events()
+
+    def test_holds_without_recorder(self):
+        db = FakeDatabase(workers=3)
+        governor = WorkerGovernor(db)
+        governor.tick(1)
+        assert db.workers == 3
+
+    def test_bounded_at_max(self):
+        db = FakeDatabase(workers=4)
+        governor = WorkerGovernor(db, max_workers=4, grow_wait_ms=1.0)
+        with obs.recording() as rec, control_events.collecting() as log:
+            rec.counter("engine.parallel.tasks", 4)
+            rec.observe("engine.parallel.merge_wait_ms", 9.0)
+            governor.tick(1)
+        assert db.workers == 4
+        assert not log.events()
+
+    def test_deltas_reset_between_ticks(self):
+        db = FakeDatabase(workers=2)
+        governor = WorkerGovernor(db, grow_wait_ms=1.0, shrink_wait_ms=0.05)
+        with obs.recording() as rec, control_events.collecting() as log:
+            rec.counter("engine.parallel.tasks", 4)
+            rec.observe("engine.parallel.merge_wait_ms", 5.0)
+            governor.tick(1)
+            assert db.workers == 3
+            governor.tick(2)  # no new tasks: same totals, zero delta
+        assert db.workers == 3
+        assert len(log.events()) == 1
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            WorkerGovernor(FakeDatabase(), min_workers=3, max_workers=2)
+        with pytest.raises(ValueError):
+            WorkerGovernor(FakeDatabase(), min_workers=-1)
+
+
+class TestBlockSizeGovernor:
+    def test_halves_on_low_mean_fill(self):
+        db = FakeDatabase(block_size=2048)
+        governor = BlockSizeGovernor(db, min_block=64)
+        with obs.recording() as rec, control_events.collecting() as log:
+            for _ in range(3):
+                rec.observe("engine.block.fill", 0.1)
+            governor.tick(1)
+        assert db.block_size == 1024
+        (event,) = log.events()
+        assert (event.old, event.new) == (2048, 1024)
+        assert rec.registry.get("control.block.resizes").value == 1
+        assert rec.registry.get("control.block.size").value == 1024
+
+    def test_halves_on_low_fill_counter(self):
+        db = FakeDatabase(block_size=512)
+        governor = BlockSizeGovernor(db, low_fill_after=1)
+        with obs.recording() as rec, control_events.collecting():
+            rec.counter("engine.block.low_fill")
+            governor.tick(1)
+        assert db.block_size == 256
+
+    def test_floors_at_min_block(self):
+        db = FakeDatabase(block_size=96)
+        governor = BlockSizeGovernor(db, min_block=64)
+        with obs.recording() as rec, control_events.collecting():
+            rec.observe("engine.block.fill", 0.05)
+            rec.observe("engine.block.fill", 0.05)
+            governor.tick(1)
+        assert db.block_size == 64
+
+    def test_regrows_in_near_full_band(self):
+        db = FakeDatabase(block_size=2048)
+        governor = BlockSizeGovernor(db)
+        db.block_size = 512  # shrunk since construction
+        with obs.recording() as rec, control_events.collecting():
+            rec.observe("engine.block.fill", 0.97)
+            rec.observe("engine.block.fill", 0.99)
+            governor.tick(1)
+        assert db.block_size == 1024
+
+    def test_fanout_fill_above_band_does_not_grow(self):
+        # Join fan-out can push per-query fill far past 1; that is not
+        # evidence the current block size is tight.
+        db = FakeDatabase(block_size=2048)
+        governor = BlockSizeGovernor(db)
+        db.block_size = 512
+        with obs.recording() as rec, control_events.collecting() as log:
+            rec.observe("engine.block.fill", 8.0)
+            rec.observe("engine.block.fill", 6.0)
+            governor.tick(1)
+        assert db.block_size == 512
+        assert not log.events()
+
+    def test_never_grows_past_construction_size(self):
+        db = FakeDatabase(block_size=512)
+        governor = BlockSizeGovernor(db)
+        with obs.recording() as rec, control_events.collecting() as log:
+            rec.observe("engine.block.fill", 0.99)
+            rec.observe("engine.block.fill", 0.99)
+            governor.tick(1)
+        assert db.block_size == 512
+        assert not log.events()
+
+    def test_min_samples_guard(self):
+        db = FakeDatabase(block_size=2048)
+        governor = BlockSizeGovernor(db, min_samples=2)
+        with obs.recording() as rec, control_events.collecting() as log:
+            rec.observe("engine.block.fill", 0.05)  # one noisy query
+            governor.tick(1)
+        assert db.block_size == 2048
+        assert not log.events()
+
+    def test_row_mode_left_alone(self):
+        db = FakeDatabase(block_size=None)
+        governor = BlockSizeGovernor(db)
+        with obs.recording() as rec, control_events.collecting() as log:
+            rec.observe("engine.block.fill", 0.05)
+            rec.observe("engine.block.fill", 0.05)
+            governor.tick(1)
+        assert db.block_size is None
+        assert not log.events()
+
+    def test_validates_options(self):
+        with pytest.raises(ValueError):
+            BlockSizeGovernor(FakeDatabase(block_size=64), min_block=0)
+        with pytest.raises(ValueError):
+            BlockSizeGovernor(
+                FakeDatabase(block_size=64),
+                shrink_fill=0.9, grow_fill=0.5,
+            )

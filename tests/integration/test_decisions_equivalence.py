@@ -54,7 +54,7 @@ def run_fleet(block_size: int, workers: int, traced: bool):
     """
     db = make_tpcr_db()
     db.block_size = block_size
-    db.workers = workers
+    db.set_workers(workers)
 
     def drive():
         coordinator = MaintenanceCoordinator(db)

@@ -72,7 +72,7 @@ def run_fleet(
     (per-view contents, total simulated maintenance cost in ms)."""
     db = make_tpcr_db()
     db.block_size = block_size
-    db.workers = workers
+    db.set_workers(workers)
     coordinator = MaintenanceCoordinator(db, shared_scans=shared)
     for name, spec in specs.items():
         policy, limit = make_policy(policy_kind)

@@ -240,6 +240,98 @@ class TestDecisionsRoute:
                 assert err.value.code == 400
 
 
+class TestControlRoute:
+    def _make_events(self):
+        from repro.control.events import ControlEvent
+
+        return [
+            ControlEvent(
+                t=t,
+                governor=governor,
+                setting=governor,
+                old=old,
+                new=new,
+                reason="r",
+                signals={"s": 1.0},
+                view=view,
+            )
+            for t, governor, view, old, new in [
+                (3, "policy", "a", "online", "naive"),
+                (5, "block_size", None, 2048, 1024),
+                (9, "policy", "b", "online", "naive"),
+            ]
+        ]
+
+    def test_provider_payload_golden_shape(self):
+        events = self._make_events()
+        server = MetricsServer(obs.Recorder(), port=0, control=lambda: events)
+        with server:
+            _, _, body = _get(server.url + "/control")
+        payload = json.loads(body)
+        assert set(payload) == {"control", "total"}
+        assert payload["total"] == 3
+        # The per-event JSON shape is the ControlEvent.to_dict contract;
+        # goldenned here so scrapers can rely on it.
+        assert set(payload["control"][0]) == {
+            "t",
+            "governor",
+            "setting",
+            "old",
+            "new",
+            "reason",
+            "signals",
+            "view",
+            "applied",
+        }
+        assert "view" not in payload["control"][1]  # omitted when None
+
+    def test_governor_view_and_limit_filters(self):
+        events = self._make_events()
+        server = MetricsServer(obs.Recorder(), port=0, control=lambda: events)
+        with server:
+            _, _, body = _get(server.url + "/control?governor=policy")
+            by_governor = json.loads(body)
+            _, _, body = _get(server.url + "/control?view=a")
+            by_view = json.loads(body)
+            _, _, body = _get(server.url + "/control?limit=1")
+            capped = json.loads(body)
+        assert by_governor["total"] == 2
+        assert all(e["governor"] == "policy" for e in by_governor["control"])
+        assert by_view["total"] == 1
+        assert by_view["control"][0]["t"] == 3
+        assert capped["total"] == 3  # total counts matches, not the cap
+        assert len(capped["control"]) == 1
+        assert capped["control"][0]["t"] == 9  # most recent kept
+
+    def test_falls_back_to_global_log(self):
+        from repro.control import events as control_mod
+
+        with control_mod.collecting() as log:
+            for event in self._make_events():
+                log.record(event)
+            with MetricsServer(obs.Recorder(), port=0) as server:
+                _, _, body = _get(server.url + "/control")
+        assert json.loads(body)["total"] == 3
+
+    def test_404_without_provider_or_log(self):
+        from repro.control import events as control_mod
+
+        assert control_mod.get_control_log() is None
+        with MetricsServer(obs.Recorder(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/control")
+        assert err.value.code == 404
+        assert "no control log" in json.loads(err.value.read())["error"]
+
+    def test_400_on_malformed_query(self):
+        server = MetricsServer(obs.Recorder(), port=0, control=list)
+        with server:
+            for query in ("?limit=x", "?limit=-1"):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _get(server.url + "/control" + query)
+                assert err.value.code == 400
+
+
 class TestQuantileParity:
     """/snapshot and /metrics must report the same quantile set, computed
     from the same reservoir -- SUMMARY_QUANTILES is the single source."""

@@ -33,9 +33,27 @@ class TestClassify:
         assert slo.classify(10.0, 1.0) is None
         assert slo.classify(10.0, 8.9) is None
 
-    def test_zero_limit_only_breaches(self):
-        assert slo.classify(0.0, 1.0) == slo.BREACH
-        assert slo.classify(0.0, 0.0) is None
+    def test_zero_limit_never_goes_dark(self):
+        # A non-positive limit is clamped (with a one-time warning)
+        # instead of silently disabling the near-breach band: any
+        # positive cost breaches, and even zero cost scores as a
+        # near-breach, so a misconfigured SLO stays loudly visible.
+        slo._invalid_limit_warned = False
+        with pytest.warns(RuntimeWarning, match="not positive"):
+            assert slo.classify(0.0, 1.0) == slo.BREACH
+        assert slo.classify(0.0, 0.0) == slo.NEAR_BREACH
+        assert slo.classify(-5.0, 0.0) == slo.NEAR_BREACH
+        assert slo.classify(-5.0, 0.1) == slo.BREACH
+
+    def test_invalid_limit_warns_once(self):
+        slo._invalid_limit_warned = False
+        with pytest.warns(RuntimeWarning):
+            slo.classify(-1.0, 0.0)
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            slo.classify(-1.0, 0.0)  # second call: no warning raised
 
 
 class TestObserveRefresh:

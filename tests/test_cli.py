@@ -236,6 +236,102 @@ class TestDecisionLogFlag:
         assert "cannot write" in capsys.readouterr().err
 
 
+class TestControlLogCommand:
+    def test_sample_run_renders_trail(self, capsys):
+        code = main(["control-log", "--horizon", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("control log: ")
+        # The pressure workload always trips at least the block-size
+        # governor well before t=40.
+        assert "event(s)" in out
+        assert "reason:" in out and "applied:" in out
+
+    def test_governor_filter(self, capsys):
+        code = main(
+            ["control-log", "--horizon", "40", "--governor", "block_size"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for line in out.splitlines():
+            if line.startswith("t="):
+                assert " block_size" in line
+
+    def test_reads_control_log_jsonl(self, tmp_path, capsys):
+        log_path = tmp_path / "control.jsonl"
+        code = main(
+            ["--control-log", str(log_path), "control-log", "--horizon", "40"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["control-log", "--log", str(log_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("control log: ")
+        assert "event(s)" in out
+
+    def test_rejects_non_control_log_file(self, tmp_path, capsys):
+        bad = tmp_path / "not-control.jsonl"
+        bad.write_text('{"unrelated": true}\n')
+        code = main(["control-log", "--log", str(bad)])
+        assert code == 2
+        assert "not a control-log JSONL" in capsys.readouterr().err
+
+    def test_missing_log_file_fails(self, tmp_path, capsys):
+        code = main(["control-log", "--log", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestControlLogFlag:
+    def test_writes_events_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "control.jsonl"
+        code = main(
+            ["--control-log", str(path), "control-log", "--horizon", "40"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert f"control events to {path}" in captured.err
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert events
+        for event in events:
+            assert {"t", "governor", "setting", "old", "new"} <= set(event)
+
+    def test_restores_previous_log(self, tmp_path):
+        from repro.control import events as control_events
+
+        assert control_events.get_control_log() is None
+        main(
+            ["--control-log", str(tmp_path / "c.jsonl"),
+             "control-log", "--horizon", "20"]
+        )
+        assert control_events.get_control_log() is None
+
+    def test_unwritable_destination_fails_fast(self, tmp_path, capsys):
+        code = main(
+            ["--control-log", str(tmp_path / "missing" / "c.jsonl"),
+             "control-log", "--horizon", "20"]
+        )
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestControlAblationCommand:
+    def test_prints_ranked_report(self, capsys):
+        code = main(["control-ablation", "--horizon", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for variant in ("baseline", "full", "no-policy", "no-workers",
+                        "no-block"):
+            assert variant in out
+        assert "Governor importance" in out
+        assert "breaches" in out
+
+
 class TestGenerateCommand:
     def test_writes_tbl_files(self, tmp_path, capsys):
         code = main(

@@ -41,7 +41,8 @@ DOCS = ROOT / "docs" / "observability.md"
 
 #: First dotted segments that mark a string as a metric name.
 FAMILIES = (
-    "astar", "online", "simulator", "engine", "ivm", "slo", "cli", "planner",
+    "astar", "online", "simulator", "engine", "ivm", "slo", "cli",
+    "planner", "control",
 )
 
 #: A whole-string dotted metric name (``*`` allowed for f-string holes).
